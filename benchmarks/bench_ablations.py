@@ -1,0 +1,55 @@
+"""Regenerates the ablation studies over the paper's design choices:
+
+* CA/CS buffer size (the §6.2 crossover explanation);
+* reliable-mode retry interval under injected outages (§4 knobs);
+* PerformanceLoss sweep beyond the paper's {10, 25} (§6.3);
+* degree of multiprogramming > 2 (§5.2/§7 future work);
+* fair-share half-life (§5.1 priority restoration).
+"""
+
+from repro.experiments import (
+    BufferSweepConfig,
+    DegreeSweepConfig,
+    HalfLifeSweepConfig,
+    PerformanceLossSweepConfig,
+    RetrySweepConfig,
+    run_buffer_sweep,
+    run_degree_sweep,
+    run_half_life_sweep,
+    run_performance_loss_sweep,
+    run_retry_sweep,
+)
+
+from conftest import regenerate
+
+
+def test_bench_ablation_buffer(benchmark):
+    config = BufferSweepConfig(sequences=200)
+    regenerate(benchmark, lambda: run_buffer_sweep(config), "ablation-buffer")
+
+
+def test_bench_ablation_retry(benchmark):
+    regenerate(benchmark, lambda: run_retry_sweep(RetrySweepConfig()),
+               "ablation-retry")
+
+
+def test_bench_ablation_performance_loss(benchmark):
+    config = PerformanceLossSweepConfig(iterations=300)
+    regenerate(benchmark, lambda: run_performance_loss_sweep(config),
+               "ablation-pl")
+
+
+def test_bench_ablation_degree(benchmark):
+    config = DegreeSweepConfig(iterations=120)
+    regenerate(benchmark, lambda: run_degree_sweep(config), "ablation-degree")
+
+
+def test_bench_ablation_half_life(benchmark):
+    regenerate(benchmark, lambda: run_half_life_sweep(HalfLifeSweepConfig()),
+               "ablation-halflife")
+
+
+def test_bench_fairshare_saturation(benchmark):
+    from repro.experiments import run_fairshare_saturation
+
+    regenerate(benchmark, run_fairshare_saturation, "fairshare-saturation")

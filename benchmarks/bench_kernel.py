@@ -1,0 +1,132 @@
+"""Microbenchmarks of the substrate itself (real pytest-benchmark rounds).
+
+These do not reproduce paper results; they track the simulator's own
+throughput so regressions in the kernel/network layers are visible.
+"""
+
+from repro.net import Listener, Network, connect
+from repro.sim import Environment, RandomStreams, Store
+
+
+def test_bench_event_throughput(benchmark):
+    """Pure timeout churn: events scheduled + processed per run."""
+
+    def run():
+        env = Environment()
+
+        def ticker():
+            for _ in range(20_000):
+                yield env.timeout(0.001)
+
+        env.process(ticker())
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result > 0
+
+
+def test_bench_process_chains(benchmark):
+    """Process spawn/wait chains (the broker's dominant pattern)."""
+
+    def run():
+        env = Environment()
+
+        def leaf():
+            yield env.timeout(0.01)
+            return 1
+
+        def parent():
+            total = 0
+            for _ in range(2_000):
+                total += yield env.process(leaf())
+            return total
+
+        proc = env.process(parent())
+        env.run()
+        return proc.value
+
+    assert benchmark(run) == 2_000
+
+
+def test_bench_store_pingpong(benchmark):
+    """Producer/consumer handoff through a Store."""
+
+    def run():
+        env = Environment()
+        a_to_b, b_to_a = Store(env), Store(env)
+
+        def side_a():
+            for i in range(5_000):
+                yield a_to_b.put(i)
+                yield b_to_a.get()
+
+        def side_b():
+            for _ in range(5_000):
+                item = yield a_to_b.get()
+                yield b_to_a.put(item)
+
+        env.process(side_a())
+        proc = env.process(side_b())
+        env.run()
+        return True
+
+    assert benchmark(run)
+
+
+def test_bench_network_messages(benchmark):
+    """Connection send/recv round trips through the routed fabric."""
+
+    def run():
+        env = Environment()
+        net = Network(env, RandomStreams(1))
+        net.add_host("a")
+        net.add_host("b")
+        net.add_link("a", "b", latency=0.0001, bandwidth=1e9)
+        listener = Listener(net, net.host("b"), 1)
+
+        def server():
+            conn = yield from listener.accept()
+            for _ in range(2_000):
+                msg = yield from conn.recv()
+                yield from conn.send(msg, 64)
+
+        def client():
+            conn = yield from connect(net, "a", "b", 1)
+            for i in range(2_000):
+                yield from conn.send(i, 64)
+                yield from conn.recv()
+
+        env.process(server())
+        proc = env.process(client())
+        env.run(until=proc)
+        return True
+
+    assert benchmark(run)
+
+
+def test_bench_broker_submission(benchmark):
+    """End-to-end broker submissions per second (quick path)."""
+
+    def run():
+        from repro.core import CrossBroker
+        from repro.grid import campus_grid
+        from repro.jdl import JobDescription
+        from repro.workloads import immediate_output_app
+
+        tb = campus_grid(seed=1, n_nodes=4)
+        tb.publish_all_now()
+        broker = CrossBroker(tb.env, tb.network, tb.rng, tb.calibration)
+        for i in range(5):
+            job = JobDescription.from_attributes({
+                "executable": "x",
+                "jobtype": ["interactive", "sequential"],
+                "streamingmode": "fast",
+            }, owner=f"u{i}")
+            submitted = broker.submit(job,
+                                      lambda r: immediate_output_app(
+                                          run_for=0.1))
+            tb.env.run(until=submitted.finished)
+        return len(broker.reports)
+
+    assert benchmark(run) == 5

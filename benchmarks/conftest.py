@@ -1,0 +1,18 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper table/figure (or ablation), prints
+the rows/series the paper reports alongside the paper's own numbers, and
+asserts the *shape* checks.  pytest-benchmark times the regeneration.
+"""
+
+from __future__ import annotations
+
+
+def regenerate(benchmark, runner, label: str):
+    """Run one experiment under pytest-benchmark and verify its shape."""
+    result = benchmark.pedantic(runner, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    failed = [c.render() for c in result.checks if not c.passed]
+    assert not failed, f"{label}: " + "; ".join(failed)
+    return result

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Interactive session through a firewall tunnel (§7 future work).
+
+The paper's conclusions call for "tunneling capabilities through firewalls
+without a range of available ports open for Globus".  Here the user's
+machine opens NO inbound port at all: the Console Shadow makes a single
+*outbound* connection to a relay on the broker machine and the Console
+Agent attaches to the same session key — the relay multiplexes the Grid
+Console over those two outbound connections.
+
+Run:  python examples/firewall_tunnel.py
+"""
+
+from repro.grid import campus_grid
+from repro.jdl import StreamingMode
+from repro.net import RelayService, TunnelEndpoint
+from repro.streaming import InteractiveSession
+from repro.workloads import interactive_console_app
+
+
+def main() -> None:
+    testbed = campus_grid(seed=13, n_nodes=1)
+    env = testbed.env
+    node = testbed.site("uab").nodes[0]
+
+    relay = RelayService(env, testbed.network, "broker")
+    print("relay service on broker:2813 (the only open port anywhere)")
+
+    def driver():
+        endpoint = yield from TunnelEndpoint.register(
+            testbed.network, "ui", "broker", "demo-session")
+        session = InteractiveSession(
+            env, testbed.network, testbed.rng,
+            testbed.calibration.streaming, "ui", StreamingMode.FAST,
+            n_subjobs=1, tunnel_endpoint=endpoint, relay_host="broker",
+            tunnel_key="demo-session")
+        print(f"shadow registered via tunnel; inbound port on ui: "
+              f"{session.shadow.port}")
+
+        node.acquire("demo")
+        proc = node.execute(interactive_console_app(), "console",
+                            interactive=True,
+                            setup=session.make_setup(node.name, 0))
+        banner = yield from session.read_line()
+        print(f"[{env.now:6.3f}s] job says: {banner.data}")
+        for command in ("status", "compute", "exit"):
+            yield from session.type_line(command)
+            print(f"[{env.now:6.3f}s] user -> {command}")
+            if command != "exit":
+                reply = yield from session.read_line()
+                print(f"[{env.now:6.3f}s] job  <- {reply.data}")
+        yield proc
+        return relay.messages_relayed
+
+    proc = env.process(driver())
+    env.run(until=proc)
+    print(f"\nsession complete; {proc.value} messages crossed the relay")
+
+
+if __name__ == "__main__":
+    main()

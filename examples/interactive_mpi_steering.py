@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Runtime steering of an MPICH-G2 job spread across two grid sites.
+
+Reproduces the paper's headline scenario (§1, §4, Figure 4): a parallel
+interactive application runs remotely on several sites; each subjob has
+its own Console Agent; all agents connect to one Job Shadow on the user's
+machine; typed input is broadcast to every subjob (rank 0 consumes it) and
+steers the running simulation.
+
+Run:  python examples/interactive_mpi_steering.py
+"""
+
+from repro.calibration import CAMPUS, WAN
+from repro.core import CrossBroker
+from repro.grid import SiteConfig, base_world
+from repro.jdl import JobDescription
+from repro.workloads import steerable_simulation
+
+
+def main() -> None:
+    testbed = base_world(seed=11)
+    testbed.add_site(SiteConfig("uab", n_nodes=1), CAMPUS)
+    testbed.add_site(SiteConfig("ifca", n_nodes=1), WAN)
+    testbed.publish_all_now()
+    env = testbed.env
+    broker = CrossBroker(env, testbed.network, testbed.rng,
+                         testbed.calibration)
+
+    job = JobDescription.from_jdl(
+        """
+        Executable    = "interactive_mpich-g2_app";
+        JobType       = {"interactive", "mpich-g2"};
+        NodeNumber    = 2;
+        StreamingMode = "reliable";
+        MachineAccess = "exclusive";
+        """,
+        owner="enol")
+    print(f"submitting {job.node_number}-rank MPICH-G2 job "
+          f"({job.console_agents} Console Agents will be spawned)")
+
+    submitted = broker.submit(
+        job, lambda rank: steerable_simulation(rank, steps=8, step_cpu=0.5))
+
+    def user(env):
+        # Wait for some output, then steer the simulation parameter.
+        for _ in range(4):
+            line = yield submitted.session.shadow.console.get()
+            print(f"[{env.now:7.2f}s] rank{line.subjob}: {line.data}")
+        print(f"[{env.now:7.2f}s] user types: set 5.0")
+        yield from submitted.session.type_line("set 5.0", nbytes=8)
+        while not submitted.finished.triggered:
+            line = yield submitted.session.shadow.console.get()
+            print(f"[{env.now:7.2f}s] rank{line.subjob}: {line.data}")
+        results = submitted.finished.value
+        return results
+
+    user_proc = env.process(user(env), name="user")
+    env.run(until=submitted.finished)
+    env.run(until=env.now + 5)
+
+    report = submitted.report
+    print(f"\njob ran on sites {report.sites}; "
+          f"submission {report.submission_time:.2f} s, "
+          f"first output after {report.response_time:.2f} s")
+    print("rank results:", submitted.finished.value)
+
+
+if __name__ == "__main__":
+    main()

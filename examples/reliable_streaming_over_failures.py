@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Reliable streaming through network failures.
+
+§3's reliable mode: "Regardless of why the input/output operation failed,
+our streaming mechanism will keep processes running and, at regular
+intervals, it will try the network connection again.  If the connection
+succeeds, it will transfer any buffered data to the other communication
+end, and then resume normal operation."
+
+This demo injects two outages into the campus<->site link while an
+interactive application keeps producing output; every line still reaches
+the user's console, in order, with the delivery gap visible in the
+timestamps.
+
+Run:  python examples/reliable_streaming_over_failures.py
+"""
+
+from repro.grid import campus_grid
+from repro.jdl import StreamingMode
+from repro.streaming import InteractiveSession
+
+
+def ticker(ctx):
+    for i in range(24):
+        yield from ctx.io(0.5)
+        yield from ctx.stdio.write(f"measurement {i:02d}", nbytes=24,
+                                   eol=True)
+    yield from ctx.stdio.eof()
+    return "done"
+
+
+def main() -> None:
+    testbed = campus_grid(seed=5, n_nodes=1)
+    env = testbed.env
+    site = testbed.site("uab")
+    node = site.nodes[0]
+
+    # Two failure windows on the site uplink.
+    testbed.network.inject_outage("core", site.gatekeeper_host, 2.0, 3.0)
+    testbed.network.inject_outage("core", site.gatekeeper_host, 8.0, 2.0)
+    print("injected outages: t=[2,5)s and t=[8,10)s on the site uplink")
+
+    session = InteractiveSession(env, testbed.network, testbed.rng,
+                                 testbed.calibration.streaming, "ui",
+                                 StreamingMode.RELIABLE)
+    node.acquire("demo")
+    proc = node.execute(ticker, "ticker", interactive=True,
+                        setup=session.make_setup(node.name, 0))
+    session.watch(proc)
+
+    def reader(env):
+        received = []
+        for _ in range(24):
+            line = yield from session.read_line()
+            received.append(line)
+        return received
+
+    reader_proc = env.process(reader(env), name="reader")
+    env.run(until=reader_proc)
+
+    produced_gap = 0.0
+    for line in reader_proc.value:
+        marker = "  <- delivered after outage" \
+            if line.time - produced_gap > 1.5 else ""
+        print(f"[{line.time:6.2f}s] {line.data}{marker}")
+        produced_gap = line.time
+
+    stats = session.agents[0].sender.stats
+    print(f"\nall 24 lines delivered in order; "
+          f"sender retries: {stats.retries}, "
+          f"chunks sent: {stats.sent}, lost: {stats.dropped}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Reproduction of *Resource Management for Interactive Jobs in a Grid
+Environment* (Fernández, Heymann, Senar — IEEE CLUSTER 2006).
+
+The package rebuilds the CrossGrid/CrossBroker interactive-job stack on a
+deterministic discrete-event substrate:
+
+* :mod:`repro.core` — the CrossBroker: two-stage resource selection,
+  fair-share priorities, glide-in multiprogramming, on-line scheduling;
+* :mod:`repro.streaming` — split-execution I/O streaming (Console Agent /
+  Console Shadow, fast and reliable modes);
+* :mod:`repro.multiprog` — glide-in agents and lightweight VM slots;
+* :mod:`repro.grid`, :mod:`repro.net`, :mod:`repro.sim` — the grid,
+  network, and simulation substrates;
+* :mod:`repro.jdl` — the Job Description Language;
+* :mod:`repro.baselines` — ssh and Glogin comparators;
+* :mod:`repro.interposition` — the same Grid Console protocol on *real*
+  subprocesses and TCP sockets;
+* :mod:`repro.experiments` — regenerates Table I, Figures 6-8, and the
+  ablations (``python -m repro.experiments all``).
+
+Quickstart
+----------
+>>> from repro.grid import campus_grid
+>>> from repro.core import CrossBroker
+>>> from repro.jdl import JobDescription
+>>> from repro.workloads import immediate_output_app
+>>> tb = campus_grid(seed=1); tb.publish_all_now()
+>>> broker = CrossBroker(tb.env, tb.network, tb.rng, tb.calibration)
+>>> job = JobDescription.from_jdl(
+...     'Executable="app"; JobType={"interactive","sequential"};')
+>>> submitted = broker.submit(job, lambda rank: immediate_output_app())
+>>> _ = tb.env.run(until=submitted.finished)
+>>> submitted.report.success
+True
+"""
+
+from .calibration import Calibration, DEFAULT_CALIBRATION
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Comparator mechanisms: ssh, Glogin, and the paper's agents as contenders."""
+
+from .base import Mechanism
+from .glogin import GloginMechanism
+from .interposition import InterpositionMechanism, echo_server
+from .ssh import SshMechanism
+
+__all__ = [
+    "GloginMechanism",
+    "InterpositionMechanism",
+    "Mechanism",
+    "SshMechanism",
+    "echo_server",
+]

@@ -1,0 +1,41 @@
+"""CrossBroker core: scheduling, matchmaking, fair-share, multiprogramming."""
+
+from .broker import BrokerConfig, CrossBroker, SubmittedJob
+from .fairshare import (
+    FairShareAccounting,
+    UserAccount,
+    UsageShare,
+    af_batch,
+    af_displaced_batch,
+    af_interactive,
+)
+from .leases import Lease, LeaseTable
+from .matchmaker import Candidate, Matchmaker
+from .reports import SubmissionPath, SubmissionReport
+from .selection import ResourceSelector, SelectionOutcome
+from .status import AgentStatus, BrokerSnapshot, JobStatus, job_stage, snapshot
+
+__all__ = [
+    "BrokerConfig",
+    "Candidate",
+    "CrossBroker",
+    "FairShareAccounting",
+    "Lease",
+    "LeaseTable",
+    "Matchmaker",
+    "ResourceSelector",
+    "SelectionOutcome",
+    "SubmissionPath",
+    "SubmissionReport",
+    "SubmittedJob",
+    "AgentStatus",
+    "BrokerSnapshot",
+    "JobStatus",
+    "job_stage",
+    "snapshot",
+    "UsageShare",
+    "UserAccount",
+    "af_batch",
+    "af_displaced_batch",
+    "af_interactive",
+]

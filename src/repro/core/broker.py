@@ -1,0 +1,807 @@
+"""CrossBroker: the resource-management service for batch *and* interactive
+jobs (the paper's primary contribution).
+
+Submission paths (Figure 5):
+
+1. **batch** — discovery → selection → glide-in agent through GRAM + the
+   local queue → job dispatched to the agent's ``batch-vm``;
+2. **interactive, exclusive** — discovery → selection over *idle* machines
+   → direct GRAM submission (no agent), two-phase commit + input staging;
+3. **interactive, shared** — local registry lookup for a free
+   ``interactive-vm`` → direct broker→agent RPC (no Globus, no queue);
+   if no agent is free, plant one on an idle machine like case 1;
+   if nothing at all, the submission *fails* ("An interactive application
+   will never pre-empt another already-running interactive application").
+
+Plus the §3 mechanisms: on-line scheduling (resubmit if the job sits in a
+remote queue), exclusive temporal leases at match time, randomized
+selection among rank ties, fair-share admission (§5.1), and a broker-side
+queue for batch jobs when the whole grid is full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from ..calibration import Calibration
+from ..grid.errors import NoResourcesError, SubmissionError
+from ..grid.gram import GramClient
+from ..grid.mpi import plan_allocation, subjobs_for
+from ..grid.staging import retrieve_output, stage_input
+from ..grid.testbed import BROKER_HOST, MDS_HOST
+from ..jdl import JobDescription, MachineAccess, StreamingMode
+from ..multiprog import AGENT_PORT, AgentRecord, AgentRegistry, AgentRuntime
+from ..net import Network, NetworkError, RpcClient, RpcError
+from ..sim import Environment, Event, EventTrace, Process, RandomStreams
+from ..streaming import InteractiveSession
+from .fairshare import (
+    FairShareAccounting,
+    af_batch,
+    af_displaced_batch,
+    af_interactive,
+)
+from .leases import LeaseTable
+from .reports import SubmissionPath, SubmissionReport
+from .selection import ResourceSelector
+
+#: behavior_factory(rank) -> Behavior
+BehaviorFactory = Callable[[int], Callable]
+
+
+@dataclass
+class BrokerConfig:
+    """Tunables of the broker's §3 mechanisms."""
+
+    #: Exclusive temporal access: how long a match reserves the resource.
+    lease_duration: float = 30.0
+    #: On-line scheduling: if an interactive job has not *started* on the
+    #: remote site within this bound, cancel and resubmit elsewhere.
+    queued_resubmit_timeout: float = 45.0
+    max_resubmissions: int = 3
+    #: Poll period for batch jobs parked in the broker queue.
+    queue_poll_interval: float = 30.0
+    #: Local registry lookup cost for shared-VM jobs (combined
+    #: discovery+selection step of Table I, "kept locally by CrossBroker").
+    registry_lookup_cost: float = 0.05
+    index_host: str = MDS_HOST
+    #: Interactive VM slots per planted agent (§5.2 future-work knob).
+    interactive_slots_per_agent: int = 1
+    #: §7 future work: "control of the degree of multiprogramming, so as
+    #: to dynamically adapt this".  When on, each shared-VM miss within
+    #: the adaptation window raises the slot count of the next planted
+    #: agent (up to the cap).
+    adaptive_multiprogramming: bool = False
+    adaptive_window: float = 300.0
+    max_interactive_slots: int = 4
+    #: Fair-share scarcity threshold: a submission is "scarce" when it
+    #: would take some of the last free CPUs (free <= need x this).
+    scarcity_factor: float = 1.0
+
+
+@dataclass
+class SubmittedJob:
+    """Broker-side record returned to the submitting user."""
+
+    job: JobDescription
+    report: SubmissionReport
+    #: Fires when every subjob has started on its node.
+    started: Event = None  # type: ignore[assignment]
+    #: Fires with the list of subjob results (or fails).
+    finished: Event = None  # type: ignore[assignment]
+    session: Optional[InteractiveSession] = None
+    process: Optional[Process] = None
+
+    def wait(self) -> Generator:
+        result = yield self.finished
+        return result
+
+
+class CrossBroker:
+    """The broker service, bound to its host on the simulated network."""
+
+    def __init__(self, env: Environment, network: Network, rng: RandomStreams,
+                 calibration: Calibration, broker_host: str = BROKER_HOST,
+                 config: Optional[BrokerConfig] = None) -> None:
+        self.env = env
+        self.network = network
+        self.rng = rng
+        self.calibration = calibration
+        self.costs = calibration.middleware
+        self.broker_host = broker_host
+        self.config = config or BrokerConfig()
+        self.selector = ResourceSelector(env, network, rng, self.costs,
+                                         broker_host,
+                                         index_host=self.config.index_host)
+        self.leases = LeaseTable(env, self.config.lease_duration)
+        self.fairshare = FairShareAccounting(env, calibration.fairshare,
+                                             total_cpus=1)
+        self.agents = AgentRegistry(env)
+        self.trace = EventTrace()
+        #: agent_id -> (owner, job_id, cpus) of the batch job on its batch-vm.
+        self._agent_batch: Dict[str, Tuple[str, str, int]] = {}
+        #: Exclusive temporal access for interactive VMs: agent_id -> lease
+        #: expiry (two concurrent shared submissions must not race for the
+        #: same free slot).
+        self._vm_claims: Dict[str, float] = {}
+        #: Timestamps of recent shared-VM misses (drives the adaptive
+        #: degree of multiprogramming).
+        self._vm_miss_times: List[float] = []
+        self.reports: List[SubmissionReport] = []
+        self._queued_batch: List[SubmittedJob] = []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, job: JobDescription, behavior_factory: BehaviorFactory,
+               ui_host: str = "ui",
+               attach_console: Optional[bool] = None) -> SubmittedJob:
+        """Submit a job; returns immediately with the tracking record.
+
+        ``attach_console`` defaults to True for interactive jobs; pass True
+        for a batch job to capture its first output through the streaming
+        layer (as the Table I measurement harness does).
+        """
+        report = SubmissionReport(job_id=job.job_id, owner=job.owner,
+                                  submitted_at=self.env.now)
+        console = job.is_interactive if attach_console is None else attach_console
+        session = None
+        if console:
+            session = InteractiveSession(
+                self.env, self.network, self.rng,
+                self.calibration.streaming, ui_host, job.streaming_mode,
+                n_subjobs=job.console_agents, port=job.shadow_port)
+        submitted = SubmittedJob(job=job, report=report,
+                                 started=self.env.event(),
+                                 finished=self.env.event(),
+                                 session=session)
+        submitted.process = self.env.process(
+            self._run(submitted, behavior_factory),
+            name=f"broker/{job.job_id}")
+        self.reports.append(report)
+        return submitted
+
+    def submit_and_wait(self, job: JobDescription,
+                        behavior_factory: BehaviorFactory,
+                        ui_host: str = "ui",
+                        attach_console: Optional[bool] = None) -> Generator:
+        submitted = self.submit(job, behavior_factory, ui_host, attach_console)
+        yield submitted.finished
+        return submitted
+
+    def cancel(self, submitted: SubmittedJob,
+               reason: str = "cancelled by user") -> Generator:
+        """On-line output control (§1): the user decides to cancel the job
+        in accordance with its output.  The kill order is broadcast through
+        the Grid Console to every Console Agent, which terminates its
+        trapped process; the job record resolves as a failure carrying the
+        reason."""
+        if submitted.finished.triggered:
+            return False
+        self.trace.log(self.env.now, "cancel", job=submitted.job.job_id,
+                       reason=reason)
+        submitted.report.error = f"Cancelled: {reason}"
+        if submitted.session is not None:
+            yield from submitted.session.kill_job(reason)
+        return True
+
+    # ------------------------------------------------------------------
+    # Top-level dispatch
+    # ------------------------------------------------------------------
+    def _run(self, submitted: SubmittedJob,
+             factory: BehaviorFactory) -> Generator:
+        job = submitted.job
+        report = submitted.report
+        self.trace.log(self.env.now, "submit", job=job.job_id,
+                       owner=job.owner, interactive=job.is_interactive)
+        try:
+            if job.wants_shared_vm:
+                yield from self._run_shared(submitted, factory)
+            elif job.is_interactive:
+                yield from self._run_exclusive(submitted, factory)
+            else:
+                yield from self._run_batch(submitted, factory)
+        except Exception as exc:  # noqa: BLE001 - surfaced in the report
+            report.error = f"{type(exc).__name__}: {exc}"
+            self.trace.log(self.env.now, "failed", job=job.job_id,
+                           error=report.error)
+            if not submitted.finished.triggered:
+                submitted.finished.fail(exc)
+                submitted.finished.defuse()
+            return
+        report.finished_at = self.env.now
+
+    # ------------------------------------------------------------------
+    # Path 1: batch (+ glide-in agent)
+    # ------------------------------------------------------------------
+    def _run_batch(self, submitted: SubmittedJob,
+                   factory: BehaviorFactory) -> Generator:
+        job = submitted.job
+        report = submitted.report
+        candidates = yield from self._discover_and_select(submitted)
+
+        # A batch job can also land on an existing agent's free batch-vm.
+        placed = False
+        for record in self.agents.free_batch():
+            try:
+                yield from self._dispatch_batch_to_agent(submitted, factory,
+                                                         record)
+                placed = True
+                break
+            except (NoResourcesError, RpcError, NetworkError):
+                continue
+        if placed:
+            report.path = SubmissionPath.BATCH_WITH_AGENT
+            return
+
+        attempts = 0
+        tried: List[str] = []
+        while True:
+            target = next((c for c in candidates
+                           if c.site not in tried
+                           and self._site_has_capacity(c)), None)
+            if target is not None:
+                report.path = SubmissionPath.BATCH_WITH_AGENT
+                lease = self.leases.acquire(target.site, job.job_id,
+                                            job.node_number)
+                # Table I's "job + agent" submission time spans the agent
+                # transfer/boot *and* the job dispatch.
+                submit_started = self.env.now
+                try:
+                    record = yield from self._plant_agent(submitted, target)
+                    yield from self._dispatch_batch_to_agent(
+                        submitted, factory, record,
+                        submit_started=submit_started)
+                except (SubmissionError, RpcError):
+                    # The site's queue filled between advert and submit
+                    # (the gatekeeper forwards its error over RPC); try the
+                    # next candidate, then fall back to the broker queue.
+                    tried.append(target.site)
+                    continue
+                finally:
+                    self.leases.release(lease)
+                return
+            # Whole grid busy: park in the broker queue (Figure 5, arrow 2).
+            report.path = SubmissionPath.BROKER_QUEUED
+            attempts += 1
+            self.trace.log(self.env.now, "broker-queued", job=job.job_id,
+                           attempt=attempts)
+            self._queued_batch.append(submitted)
+            try:
+                yield self.env.timeout(self.config.queue_poll_interval)
+            finally:
+                self._queued_batch.remove(submitted)
+            outcome = yield from self.selector.discover()
+            adverts, _ = outcome
+            self._note_grid_size(adverts)
+            selection = yield from self.selector.select(job, adverts)
+            candidates = selection.candidates
+            tried = []
+
+    # ------------------------------------------------------------------
+    # Path 2: interactive, exclusive access
+    # ------------------------------------------------------------------
+    def _run_exclusive(self, submitted: SubmittedJob,
+                       factory: BehaviorFactory) -> Generator:
+        job = submitted.job
+        report = submitted.report
+        report.path = SubmissionPath.INTERACTIVE_EXCLUSIVE
+        candidates = yield from self._discover_and_select(submitted)
+        idle = [c for c in candidates
+                if self.leases.available(c.site, c.free_cpus, 1)]
+
+        # §5.1: under scarcity (this job would take some of the last free
+        # CPUs) jobs of users with worse priority are rejected.
+        free_total = sum(
+            max(c.free_cpus - self.leases.reserved_cpus(c.site), 0)
+            for c in candidates)
+        scarce = free_total <= job.node_number * self.config.scarcity_factor
+        if not self._admit(job, scarce=scarce):
+            report.rejected = True
+            raise NoResourcesError(f"{job.job_id}: rejected by fair-share")
+        if not idle:
+            raise NoResourcesError(
+                f"{job.job_id}: no idle machine for exclusive access")
+
+        if job.node_number > 1:
+            yield from self._submit_parallel_exclusive(submitted, factory, idle)
+            return
+
+        tried: List[str] = []
+        for attempt in range(self.config.max_resubmissions + 1):
+            target = next((c for c in idle if c.site not in tried), None)
+            if target is None:
+                raise NoResourcesError(
+                    f"{job.job_id}: resubmission options exhausted")
+            tried.append(target.site)
+            report.resubmissions = attempt
+            started = yield from self._submit_via_gram(submitted, factory,
+                                                       target, rank=0)
+            if started:
+                yield from self._finish_measurement(submitted)
+                return
+        raise NoResourcesError(f"{job.job_id}: could not start anywhere")
+
+    # ------------------------------------------------------------------
+    # Path 3: interactive, shared access
+    # ------------------------------------------------------------------
+    def _run_shared(self, submitted: SubmittedJob,
+                    factory: BehaviorFactory) -> Generator:
+        job = submitted.job
+        report = submitted.report
+        # Combined discovery+selection: the VM registry is local state.
+        yield self.env.timeout(self.rng.jitter(
+            "broker/registry", self.config.registry_lookup_cost, 0.2))
+        report.discovery_time = 0.0
+        report.selection_time = self.env.now - report.submitted_at
+
+        need = job.node_number
+        free_vms = [r for r in self.agents.free_interactive()
+                    if self._vm_claims.get(r.runtime.agent_id, 0.0)
+                    <= self.env.now]
+        for record in free_vms[:need]:
+            self._vm_claims[record.runtime.agent_id] = \
+                self.env.now + self.config.lease_duration
+        if len(free_vms) >= need:
+            report.path = SubmissionPath.INTERACTIVE_SHARED_VM
+            if not self._admit(job, scarce=False):
+                report.rejected = True
+                raise NoResourcesError(f"{job.job_id}: rejected by fair-share")
+            try:
+                yield from self._dispatch_interactive_to_agents(
+                    submitted, factory, free_vms[:need])
+            except (RpcError, NetworkError, NoResourcesError):
+                # An agent vanished between lookup and dispatch (its batch
+                # job completed); fall through to planting a fresh one —
+                # unless some subjobs already landed (partial dispatch is
+                # not retryable wholesale).
+                for record in free_vms[:need]:
+                    self._vm_claims.pop(record.runtime.agent_id, None)
+                if report.sites:
+                    raise
+            else:
+                yield from self._finish_measurement(submitted)
+                return
+
+        # Not enough agents: plant new ones on idle machines (Figure 5:
+        # "CrossBroker searches for an idle machine and submits the agent
+        # and the application in a similar way to... a batch job").
+        self._vm_miss_times.append(self.env.now)
+        report.path = SubmissionPath.INTERACTIVE_SHARED_NEW_AGENT
+        candidates = yield from self._discover_and_select(submitted)
+        idle = [c for c in candidates
+                if self.leases.available(c.site, c.free_cpus, 1)]
+        shortfall = need - len(free_vms)
+        if sum(c.free_cpus for c in idle) < shortfall:
+            if not self._admit(job, scarce=True):
+                report.rejected = True
+            # §5.2: "if there are not enough machines (with or without
+            # agents) to execute an interactive application, its submission
+            # will fail."
+            raise NoResourcesError(
+                f"{job.job_id}: not enough machines for {need} shared slots")
+        if not self._admit(job, scarce=False):
+            report.rejected = True
+            raise NoResourcesError(f"{job.job_id}: rejected by fair-share")
+
+        records = list(free_vms)
+        for candidate in idle:
+            if len(records) >= need:
+                break
+            lease = self.leases.acquire(candidate.site, job.job_id)
+            try:
+                record = yield from self._plant_agent(submitted, candidate)
+                records.append(record)
+            finally:
+                self.leases.release(lease)
+        yield from self._dispatch_interactive_to_agents(
+            submitted, factory, records[:need])
+        yield from self._finish_measurement(submitted)
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _discover_and_select(self, submitted: SubmittedJob) -> Generator:
+        """Stages 1+2; fills the report's timing columns."""
+        job = submitted.job
+        report = submitted.report
+        adverts, discovery_time = yield from self.selector.discover()
+        report.discovery_time = discovery_time
+        self._note_grid_size(adverts)
+        outcome = yield from self.selector.select(job, adverts)
+        report.selection_time = outcome.selection_time
+        self.trace.log(self.env.now, "selected", job=job.job_id,
+                       n_candidates=len(outcome.candidates),
+                       discovery=discovery_time,
+                       selection=outcome.selection_time)
+        return outcome.candidates
+
+    def _note_grid_size(self, adverts) -> None:
+        total = sum(int(a.attributes.get("TotalCPUs", 0)) for a in adverts)
+        self.fairshare.total_cpus = max(total, 1)
+
+    def _site_has_capacity(self, candidate) -> bool:
+        if self.leases.available(candidate.site, candidate.free_cpus, 1):
+            return True
+        max_queue = int(candidate.attributes.get("MaxQueuedJobs", 999999))
+        willingness = 2 * max(int(candidate.attributes.get("TotalCPUs", 1)), 1)
+        return candidate.queue_length < min(max_queue, willingness)
+
+    def _admit(self, job: JobDescription, scarce: bool) -> bool:
+        return self.fairshare.admit(job.owner, scarce=scarce)
+
+    def _interactive_slots_for_next_agent(self) -> int:
+        """Degree of multiprogramming for a freshly planted agent (§7)."""
+        base = self.config.interactive_slots_per_agent
+        if not self.config.adaptive_multiprogramming:
+            return base
+        horizon = self.env.now - self.config.adaptive_window
+        self._vm_miss_times = [t for t in self._vm_miss_times if t >= horizon]
+        return min(base + len(self._vm_miss_times),
+                   self.config.max_interactive_slots)
+
+    def _charge_start(self, job: JobDescription) -> None:
+        af = (af_interactive(job.performance_loss,
+                             self.calibration.fairshare.af_interactive_literal)
+              if job.is_interactive else af_batch())
+        self.fairshare.job_started(job.owner, job.job_id, job.node_number, af)
+
+    def _charge_finish(self, job: JobDescription) -> None:
+        self.fairshare.job_finished(job.owner, job.job_id)
+
+    def _retrieve_output(self, submitted: SubmittedJob) -> Generator:
+        """Stage the output sandbox back once the job completed (§1)."""
+        job = submitted.job
+        if not job.output_sandbox or not submitted.report.sites:
+            return
+        gatekeeper = f"gk.{submitted.report.sites[0]}"
+        elapsed = yield from retrieve_output(
+            self.env, self.network, self.rng, gatekeeper, self.broker_host,
+            job.output_sandbox)
+        submitted.report.output_retrieval_time = elapsed
+        self.trace.log(self.env.now, "output-retrieved", job=job.job_id,
+                       elapsed=elapsed)
+
+    def _charge_shadow_setup(self, submitted: SubmittedJob) -> Generator:
+        """Start the console shadow + wait for its port to be probed
+        (part of the submission step whenever a console is attached)."""
+        if submitted.session is not None:
+            yield self.env.timeout(self.rng.jitter(
+                "broker/shadow-setup", self.costs.shadow_setup, 0.15))
+
+    def _finish_measurement(self, submitted: SubmittedJob) -> Generator:
+        """Record first-output timing once the console reports it."""
+        report = submitted.report
+        if submitted.session is not None:
+            first = yield submitted.session.shadow.first_output
+            report.first_output_at = first
+            report.response_time = first - report.submitted_at
+
+    # -- GRAM path ---------------------------------------------------------
+    def _submit_via_gram(self, submitted: SubmittedJob,
+                         factory: BehaviorFactory, candidate,
+                         rank: int) -> Generator:
+        """Exclusive-mode submission of one subjob.  Returns True if the
+        job started; False if it queued past the on-line-scheduling bound
+        (and was cancelled for resubmission)."""
+        job = submitted.job
+        report = submitted.report
+        submit_started = self.env.now
+        yield from self._charge_shadow_setup(submitted)
+        lease = self.leases.acquire(candidate.site, job.job_id)
+        gram = GramClient(self.env, self.network, self.rng, self.broker_host,
+                          candidate.gatekeeper, self.costs)
+        try:
+            yield from gram.connect()
+            if job.input_sandbox:
+                yield from stage_input(self.env, self.network, self.rng,
+                                       self.broker_host, candidate.gatekeeper,
+                                       job.input_sandbox)
+            else:
+                # Sandbox preparation still costs a transfer setup.
+                yield self.env.timeout(self.rng.jitter(
+                    "broker/stage-setup", self.costs.input_staging, 0.15))
+            setup = None
+            if submitted.session is not None:
+                node_host = None  # chosen by the LRMS; CA connects back.
+                setup = submitted.session.make_setup(candidate.gatekeeper,
+                                                     rank)
+            ticket = yield from gram.submit(
+                f"{job.job_id}/r{rank}", job.owner, factory(rank),
+                interactive=job.is_interactive, two_phase=True,
+                priority=self.fairshare.ordering_key(job.owner),
+                setup=setup)
+        except BaseException:
+            self.leases.release(lease)
+            yield from gram.close()
+            raise
+        self.leases.release(lease)
+
+        # On-line scheduling (§3): the scheduler attempts to run each
+        # interactive job immediately — if it enters a queue instead, it is
+        # cancelled and resubmitted to another available resource.
+        timeout = self.env.timeout(self.config.queued_resubmit_timeout)
+        yield ticket.handle.started | timeout
+        if not ticket.handle.started.triggered:
+            self.trace.log(self.env.now, "resubmit", job=job.job_id,
+                           site=candidate.site)
+            try:
+                yield from gram.cancel(ticket.gram_id)
+            except NetworkError:
+                pass
+            yield from gram.close()
+            return False
+        yield from gram.close()
+
+        report.sites.append(candidate.site)
+        report.started_at = self.env.now
+        report.submission_time = self.env.now - submit_started
+        self._charge_start(job)
+        if not submitted.started.triggered:
+            submitted.started.succeed(self.env.now)
+        self.env.process(self._watch_finish(submitted, [ticket.handle.finished]),
+                         name=f"broker/watch/{job.job_id}")
+        return True
+
+    def _submit_parallel_exclusive(self, submitted: SubmittedJob,
+                                   factory: BehaviorFactory,
+                                   idle) -> Generator:
+        """Co-allocated MPICH submission over idle machines."""
+        job = submitted.job
+        report = submitted.report
+        pool = [(c.site, max(c.free_cpus - self.leases.reserved_cpus(c.site), 0))
+                for c in idle]
+        slices = plan_allocation(job, pool)
+        subjobs = subjobs_for(job, slices)
+        by_site = {c.site: c for c in idle}
+        submit_started = self.env.now
+        yield from self._charge_shadow_setup(submitted)
+        finish_events: List[Event] = []
+        start_events: List[Event] = []
+        for subjob in subjobs:
+            candidate = by_site[subjob.site]
+            lease = self.leases.acquire(candidate.site, job.job_id)
+            gram = GramClient(self.env, self.network, self.rng,
+                              self.broker_host, candidate.gatekeeper,
+                              self.costs)
+            try:
+                yield from gram.connect()
+                setup = None
+                # §4: MPICH-G2 gets one Console Agent per subjob; MPICH-P4
+                # (and sequential) a single CA on the master rank.
+                if submitted.session is not None \
+                        and subjob.rank < job.console_agents:
+                    setup = submitted.session.make_setup(
+                        candidate.gatekeeper, subjob.rank)
+                ticket = yield from gram.submit(
+                    subjob.label, job.owner, factory(subjob.rank),
+                    interactive=True, two_phase=True,
+                    priority=self.fairshare.ordering_key(job.owner),
+                    setup=setup)
+            finally:
+                self.leases.release(lease)
+                yield from gram.close()
+            start_events.append(ticket.handle.started)
+            finish_events.append(ticket.handle.finished)
+            if candidate.site not in report.sites:
+                report.sites.append(candidate.site)
+
+        yield self.env.all_of(start_events)
+        report.started_at = self.env.now
+        report.submission_time = self.env.now - submit_started
+        self._charge_start(job)
+        if not submitted.started.triggered:
+            submitted.started.succeed(self.env.now)
+        self.env.process(self._watch_finish(submitted, finish_events),
+                         name=f"broker/watch/{job.job_id}")
+        yield from self._finish_measurement(submitted)
+
+    # -- agent path ----------------------------------------------------------
+    def _plant_agent(self, submitted: SubmittedJob, candidate) -> Generator:
+        """Submit a glide-in agent to a site through GRAM and wait for it."""
+        job = submitted.job
+        site_obj_host = candidate.gatekeeper
+        gram = GramClient(self.env, self.network, self.rng, self.broker_host,
+                          site_obj_host, self.costs)
+        yield from gram.connect()
+        # Glide-in sandbox transfer (the agent binary) dominates staging.
+        yield self.env.timeout(self.rng.jitter(
+            "broker/glidein-transfer", self.costs.glidein_transfer, 0.10))
+
+        ready_records: List[AgentRecord] = []
+
+        def on_ready(runtime: AgentRuntime) -> None:
+            ready_records.append(self.agents.register(runtime, candidate.site))
+
+        # The runtime object is created lazily on the chosen node via a
+        # bootstrap behavior (the LRMS picks the node, not the broker).
+        broker = self
+
+        interactive_slots = self._interactive_slots_for_next_agent()
+
+        def bootstrap(ctx) -> Generator:
+            runtime = AgentRuntime(
+                broker.env, broker.network, broker.rng, ctx.node,
+                broker.costs, interactive_slots=interactive_slots)
+            inner = runtime.behavior(on_ready=on_ready)
+            result = yield from inner(ctx)
+            return result
+
+        ticket = yield from gram.submit(f"glidein/{candidate.site}",
+                                        "crossbroker", bootstrap,
+                                        daemon=True)
+        yield from gram.close()
+        yield ticket.handle.started
+        # Wait for the runtime to boot and register.
+        while not ready_records:
+            yield self.env.timeout(0.05)
+        record = ready_records[0]
+        self.trace.log(self.env.now, "agent-ready",
+                       agent=record.runtime.agent_id, site=candidate.site,
+                       job=job.job_id)
+        return record
+
+    def _agent_rpc(self, record: AgentRecord) -> Generator:
+        rpc = RpcClient(self.network, self.broker_host,
+                        record.runtime.node.name, AGENT_PORT,
+                        label=f"broker->{record.runtime.agent_id}")
+        yield from rpc.connect()
+        # Authenticated dispatch channel setup (lightweight, non-Globus).
+        yield self.env.timeout(self.rng.jitter(
+            "broker/agent-dispatch", self.costs.agent_dispatch_rpc, 0.12))
+        return rpc
+
+    def _dispatch_batch_to_agent(self, submitted: SubmittedJob,
+                                 factory: BehaviorFactory,
+                                 record: AgentRecord,
+                                 submit_started: Optional[float] = None) -> Generator:
+        job = submitted.job
+        report = submitted.report
+        if submit_started is None:
+            submit_started = self.env.now
+        yield from self._charge_shadow_setup(submitted)
+        rpc = yield from self._agent_rpc(record)
+        setup = None
+        if submitted.session is not None:
+            setup = submitted.session.make_setup(record.runtime.node.name, 0)
+        try:
+            ticket = yield from rpc.call(
+                "agent.run_job", job.job_id, factory(0), False, 0,
+                setup=setup, nbytes=2048)
+        finally:
+            yield from rpc.close()
+        yield ticket.started
+        report.sites.append(record.site)
+        report.started_at = self.env.now
+        report.submission_time = self.env.now - submit_started
+        self._charge_start(job)
+        self._agent_batch[record.runtime.agent_id] = (
+            job.owner, job.job_id, job.node_number)
+        if not submitted.started.triggered:
+            submitted.started.succeed(self.env.now)
+
+        self.env.process(
+            self._watch_batch_on_agent(submitted, factory, record, ticket),
+            name=f"broker/watch/{job.job_id}")
+        if submitted.session is not None:
+            yield from self._finish_measurement(submitted)
+
+    def _watch_batch_on_agent(self, submitted: SubmittedJob,
+                              factory: BehaviorFactory, record: AgentRecord,
+                              ticket) -> Generator:
+        """Monitor a batch job on an agent; resubmit if the agent dies.
+
+        §5.2: "Special care has to be taken if the agent is killed (by the
+        local scheduler, by failure of the machine it is running on, etc.).
+        In this case, new agents will be submitted when possible."  There
+        is no checkpointing — the job restarts from scratch elsewhere.
+        """
+        job = submitted.job
+        try:
+            result = yield ticket.finished
+        except Exception as exc:  # noqa: BLE001 - includes Interrupt
+            self._charge_finish(job)
+            self._agent_batch.pop(record.runtime.agent_id, None)
+            if record.runtime.dead.triggered \
+                    and submitted.report.resubmissions \
+                    < self.config.max_resubmissions:
+                submitted.report.resubmissions += 1
+                self.trace.log(self.env.now, "agent-died-resubmit",
+                               job=job.job_id,
+                               agent=record.runtime.agent_id,
+                               attempt=submitted.report.resubmissions)
+                try:
+                    yield from self._run_batch(submitted, factory)
+                except Exception as resubmit_exc:  # noqa: BLE001
+                    submitted.report.error = (
+                        f"{type(resubmit_exc).__name__}: {resubmit_exc}")
+                    if not submitted.finished.triggered:
+                        submitted.finished.fail(resubmit_exc)
+                        submitted.finished.defuse()
+                return
+            if not submitted.finished.triggered:
+                submitted.finished.fail(exc)
+                submitted.finished.defuse()
+            submitted.report.finished_at = self.env.now
+            self.trace.log(self.env.now, "finished", job=job.job_id,
+                           failed=True)
+            return
+        self._charge_finish(job)
+        self._agent_batch.pop(record.runtime.agent_id, None)
+        yield from self._retrieve_output(submitted)
+        if not submitted.finished.triggered:
+            submitted.finished.succeed([result])
+        submitted.report.finished_at = self.env.now
+        self.trace.log(self.env.now, "finished", job=job.job_id)
+
+    def _dispatch_interactive_to_agents(self, submitted: SubmittedJob,
+                                        factory: BehaviorFactory,
+                                        records: List[AgentRecord]) -> Generator:
+        job = submitted.job
+        report = submitted.report
+        submit_started = self.env.now
+        yield from self._charge_shadow_setup(submitted)
+        finish_events: List[Event] = []
+        displaced: List[Tuple[str, str, float]] = []
+        for rank, record in enumerate(records):
+            rpc = yield from self._agent_rpc(record)
+            setup = None
+            if submitted.session is not None:
+                setup = submitted.session.make_setup(
+                    record.runtime.node.name, rank)
+            try:
+                ticket = yield from rpc.call(
+                    "agent.run_job", f"{job.job_id}/r{rank}", factory(rank),
+                    True, job.performance_loss, setup=setup, nbytes=2048)
+            finally:
+                yield from rpc.close()
+            yield ticket.started
+            finish_events.append(ticket.finished)
+            if record.site not in report.sites:
+                report.sites.append(record.site)
+            # §5.1: the displaced batch job's owner is charged the cheap
+            # a_f while it shares its machine.
+            batch = self._agent_batch.get(record.runtime.agent_id)
+            if batch is not None:
+                owner, job_id, _ = batch
+                displaced.append((owner, job_id, af_batch()))
+                self.fairshare.reweight_job(
+                    owner, job_id, af_displaced_batch(job.performance_loss))
+
+        report.started_at = self.env.now
+        report.submission_time = self.env.now - submit_started
+        self._charge_start(job)
+        for record in records:
+            self._vm_claims.pop(record.runtime.agent_id, None)
+        if not submitted.started.triggered:
+            submitted.started.succeed(self.env.now)
+
+        def cleanup() -> Generator:
+            yield from self._watch_finish(submitted, finish_events)
+            for owner, job_id, original_af in displaced:
+                self.fairshare.reweight_job(owner, job_id, original_af)
+
+        self.env.process(cleanup(), name=f"broker/watch/{job.job_id}")
+
+    def _watch_finish(self, submitted: SubmittedJob,
+                      finish_events: List[Event]) -> Generator:
+        job = submitted.job
+        try:
+            condition = yield self.env.all_of(finish_events)
+            results = [e.value for e in finish_events]
+            yield from self._retrieve_output(submitted)
+            if not submitted.finished.triggered:
+                submitted.finished.succeed(results)
+        except Exception as exc:  # noqa: BLE001 - job failure
+            if not submitted.finished.triggered:
+                submitted.finished.fail(exc)
+                submitted.finished.defuse()
+        finally:
+            self._charge_finish(job)
+            submitted.report.finished_at = self.env.now
+            self.trace.log(self.env.now, "finished", job=job.job_id)
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def queued_batch_count(self) -> int:
+        return len(self._queued_batch)

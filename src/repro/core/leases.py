@@ -1,0 +1,64 @@
+"""Exclusive temporal access to resources.
+
+§3: "This mechanism guarantees that a given resource is not matched to
+other applications for a certain period of time once the same resource has
+been allocated."  Without it, two jobs matched in the same scheduling
+window would race for the same advertised free CPU (the MDS advert being
+stale for both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..sim import Environment
+
+
+@dataclass
+class Lease:
+    site: str
+    holder: str
+    expires_at: float
+    cpus: int = 1
+
+
+class LeaseTable:
+    """Per-site short-term reservations made at match time."""
+
+    def __init__(self, env: Environment, duration: float = 30.0) -> None:
+        if duration <= 0:
+            raise ValueError("duration must be > 0")
+        self.env = env
+        self.duration = duration
+        self._leases: Dict[str, List[Lease]] = {}
+
+    def _prune(self, site: str) -> List[Lease]:
+        now = self.env.now
+        live = [l for l in self._leases.get(site, []) if l.expires_at > now]
+        self._leases[site] = live
+        return live
+
+    def reserved_cpus(self, site: str) -> int:
+        return sum(l.cpus for l in self._prune(site))
+
+    def available(self, site: str, advertised_free: int, need: int = 1) -> bool:
+        """True if ``need`` CPUs remain after honouring live leases."""
+        return advertised_free - self.reserved_cpus(site) >= need
+
+    def acquire(self, site: str, holder: str, cpus: int = 1) -> Lease:
+        lease = Lease(site, holder, self.env.now + self.duration, cpus)
+        self._leases.setdefault(site, []).append(lease)
+        return lease
+
+    def release(self, lease: Lease) -> None:
+        """Early release once the job is really placed (or failed)."""
+        live = self._leases.get(lease.site, [])
+        if lease in live:
+            live.remove(lease)
+
+    def active_leases(self) -> List[Lease]:
+        out: List[Lease] = []
+        for site in list(self._leases):
+            out.extend(self._prune(site))
+        return out

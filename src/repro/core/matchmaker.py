@@ -1,0 +1,78 @@
+"""Matchmaking: filter candidate sites on Requirements, order by Rank.
+
+§3's selection mechanics reproduced here:
+
+* requirement filtering against the (possibly stale) MDS adverts;
+* Rank ordering (higher is better);
+* **randomized selection of resources** — "used to generate different
+  answers when there are multiple resource choices": ties in rank are
+  broken by a seeded shuffle, so equal candidates are load-spread rather
+  than hammered in advert order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..jdl import JobDescription, matches, rank_value
+from ..sim import RandomStreams
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A site that passed requirement filtering."""
+
+    site: str
+    gatekeeper: str
+    attributes: Dict[str, Any]
+    rank: float
+
+    @property
+    def free_cpus(self) -> int:
+        return int(self.attributes.get("FreeCPUs", 0))
+
+    @property
+    def queue_length(self) -> int:
+        return int(self.attributes.get("QueueLength", 0))
+
+
+class Matchmaker:
+    """Stateless matching engine (randomness injected via RandomStreams)."""
+
+    def __init__(self, rng: RandomStreams) -> None:
+        self.rng = rng
+
+    def filter_candidates(self, job: JobDescription,
+                          adverts: Sequence) -> List[Candidate]:
+        """Requirement filtering (first stage of §6.1's selection)."""
+        own = job.matchmaking_context()
+        out: List[Candidate] = []
+        for advert in adverts:
+            attributes = advert.attributes
+            if not matches(job.requirements, own, attributes):
+                continue
+            out.append(Candidate(
+                site=advert.site,
+                gatekeeper=advert.gatekeeper,
+                attributes=dict(attributes),
+                rank=rank_value(job.rank, own, attributes),
+            ))
+        return out
+
+    def order(self, job: JobDescription,
+              candidates: Sequence[Candidate],
+              exclude: Optional[Sequence[str]] = None) -> List[Candidate]:
+        """Rank-descending order with randomized tie-breaking."""
+        excluded = set(exclude or ())
+        pool = [c for c in candidates if c.site not in excluded]
+        # Shuffle first so that sort (stable) only keeps the rank order,
+        # randomizing within equal-rank groups.
+        shuffled = self.rng.shuffled(f"matchmaker/{job.job_id}", pool)
+        shuffled.sort(key=lambda c: -c.rank)
+        return shuffled
+
+    def pick(self, job: JobDescription, candidates: Sequence[Candidate],
+             exclude: Optional[Sequence[str]] = None) -> Optional[Candidate]:
+        ordered = self.order(job, candidates, exclude)
+        return ordered[0] if ordered else None

@@ -1,0 +1,54 @@
+"""Submission outcome records (the rows of Table I come from these)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class SubmissionPath(enum.Enum):
+    """Which of §5.2's scenarios (Figure 5) a job took."""
+
+    #: Batch job: glide-in agent submitted through GRAM, job on batch-vm.
+    BATCH_WITH_AGENT = "batch+agent"
+    #: Batch job parked in the CrossBroker queue (no capacity anywhere).
+    BROKER_QUEUED = "broker-queued"
+    #: Interactive, exclusive access: idle machine through GRAM, no agent.
+    INTERACTIVE_EXCLUSIVE = "interactive-exclusive"
+    #: Interactive, shared: dispatched to an existing interactive VM.
+    INTERACTIVE_SHARED_VM = "interactive-shared-vm"
+    #: Interactive, shared, but no agent existed: new agent + job.
+    INTERACTIVE_SHARED_NEW_AGENT = "interactive-shared-new-agent"
+
+
+@dataclass
+class SubmissionReport:
+    """Timing decomposition of one submission (Table I columns)."""
+
+    job_id: str
+    owner: str
+    path: Optional[SubmissionPath] = None
+    #: Stage 1 (MDS query).  0 for shared-VM jobs (local registry lookup).
+    discovery_time: float = 0.0
+    #: Stage 2 (filter + per-site refresh).
+    selection_time: float = 0.0
+    #: "time elapsed between the instant when the job is finally submitted
+    #: ... and the instant when the first output arrives" (Table I).
+    submission_time: float = 0.0
+    #: Total: submit() call to first output.
+    response_time: float = 0.0
+    sites: List[str] = field(default_factory=list)
+    resubmissions: int = 0
+    rejected: bool = False
+    error: Optional[str] = None
+    #: Time spent staging the output sandbox back (0 when none).
+    output_retrieval_time: float = 0.0
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    first_output_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def success(self) -> bool:
+        return self.error is None and not self.rejected

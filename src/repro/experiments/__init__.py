@@ -1,0 +1,52 @@
+"""Experiment harness: one module per paper table/figure, plus ablations."""
+
+from .ablations import (
+    BufferSweepConfig,
+    DegreeSweepConfig,
+    HalfLifeSweepConfig,
+    PerformanceLossSweepConfig,
+    RetrySweepConfig,
+    run_all_ablations,
+    run_buffer_sweep,
+    run_degree_sweep,
+    run_half_life_sweep,
+    run_performance_loss_sweep,
+    run_retry_sweep,
+)
+from .common import ExperimentResult, ShapeCheck
+from .export import collect_series, export_all, export_result
+from .fairshare_saturation import SaturationConfig, run_fairshare_saturation
+from .fig8 import Fig8Config, run_fig8
+from .selection_scaling import SelectionScalingConfig, run_selection_scaling
+from .streaming_overhead import StreamingConfig, run_fig6, run_fig7
+from .table1 import Table1Config, run_table1
+
+__all__ = [
+    "BufferSweepConfig",
+    "DegreeSweepConfig",
+    "ExperimentResult",
+    "Fig8Config",
+    "HalfLifeSweepConfig",
+    "PerformanceLossSweepConfig",
+    "RetrySweepConfig",
+    "SaturationConfig",
+    "SelectionScalingConfig",
+    "ShapeCheck",
+    "StreamingConfig",
+    "Table1Config",
+    "collect_series",
+    "export_all",
+    "export_result",
+    "run_all_ablations",
+    "run_buffer_sweep",
+    "run_degree_sweep",
+    "run_fairshare_saturation",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_half_life_sweep",
+    "run_performance_loss_sweep",
+    "run_retry_sweep",
+    "run_selection_scaling",
+    "run_table1",
+]

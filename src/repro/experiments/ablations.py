@@ -1,0 +1,376 @@
+"""Ablations over the design choices the paper calls out.
+
+Each ablation isolates one mechanism and sweeps the knob the paper either
+fixes (buffer size, retry interval), sweeps narrowly (PerformanceLoss 10
+and 25), or defers to future work (degree of multiprogramming, priority
+half-life).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..baselines import InterpositionMechanism
+from ..calibration import Calibration, DEFAULT_CALIBRATION
+from ..grid import campus_grid
+from ..jdl import StreamingMode
+from ..metrics import AsciiTable, Series
+from ..multiprog import AgentRuntime
+from ..sim import Environment, RandomStreams
+from ..streaming import InteractiveSession
+from ..core.fairshare import FairShareAccounting, af_batch
+from ..workloads import cpu_hog, make_loop_app, run_sequences
+from .common import ExperimentResult
+from .fig8 import _direct_ctx
+
+
+# ---------------------------------------------------------------------------
+# Ablation 1: CA/CS buffer size (explains the Fig. 6 10 KB crossover)
+# ---------------------------------------------------------------------------
+@dataclass
+class BufferSweepConfig:
+    buffer_sizes: Tuple[int, ...] = (2048, 8192, 65536)
+    payload: int = 10000
+    sequences: int = 200
+    seed: int = 4
+    calibration: Calibration = field(default_factory=lambda: DEFAULT_CALIBRATION)
+
+
+def run_buffer_sweep(config: Optional[BufferSweepConfig] = None) -> ExperimentResult:
+    config = config or BufferSweepConfig()
+    result = ExperimentResult(
+        experiment_id="ablation-buffer",
+        title="Reliable-mode round trip vs. CA/CS buffer size",
+        paper_reference="§6.2's explanation for reliable mode beating ssh "
+                        "at 10 KB (larger internal buffers)")
+    table = AsciiTable(["buffer (B)", f"mean RTT at {config.payload} B (ms)"],
+                       title="Buffer-size sweep (reliable mode)", precision=3)
+    means: Dict[int, Series] = {}
+    for i, size in enumerate(config.buffer_sizes):
+        calibration = config.calibration.with_streaming(buffer_size=size)
+        tb = campus_grid(seed=config.seed + i, n_nodes=1,
+                         calibration=calibration)
+        node = tb.site("uab").nodes[0]
+        mech = InterpositionMechanism(tb.env, tb.network, tb.rng, "ui", node,
+                                      calibration.streaming,
+                                      StreamingMode.RELIABLE)
+
+        def driver() -> Generator:
+            times = yield from run_sequences(mech, config.payload,
+                                             config.sequences)
+            return times
+
+        proc = tb.env.process(driver(), name=f"buf/{size}")
+        tb.env.run(until=proc)
+        means[size] = Series.of(f"buf{size}", proc.value)
+        table.add_row(size, means[size].mean * 1e3)
+    result.tables.append(table)
+    result.data["series"] = means
+
+    sizes = sorted(config.buffer_sizes)
+    result.check(
+        "larger buffers make large-payload round trips faster",
+        all(means[a].mean > means[b].mean
+            for a, b in zip(sizes, sizes[1:])),
+        " -> ".join(f"{s}B:{means[s].mean*1e3:.2f}ms" for s in sizes))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ablation 2: reliable-mode retry interval under injected outages
+# ---------------------------------------------------------------------------
+@dataclass
+class RetrySweepConfig:
+    retry_intervals: Tuple[float, ...] = (1.0, 5.0, 15.0)
+    ticks: int = 30
+    tick_period: float = 0.5
+    outage_start: float = 3.0
+    outage_duration: float = 6.0
+    seed: int = 9
+    calibration: Calibration = field(default_factory=lambda: DEFAULT_CALIBRATION)
+
+
+def run_retry_sweep(config: Optional[RetrySweepConfig] = None) -> ExperimentResult:
+    config = config or RetrySweepConfig()
+    result = ExperimentResult(
+        experiment_id="ablation-retry",
+        title="Reliable-mode recovery vs. retry interval",
+        paper_reference="§4: 'The number of retries and the number of "
+                        "seconds between each retry are configurable'")
+    table = AsciiTable(
+        ["retry interval (s)", "all delivered", "recovery latency (s)",
+         "retries"],
+        title=(f"{config.ticks} ticks through a "
+               f"{config.outage_duration:.0f} s outage"))
+    delivery: Dict[float, float] = {}
+    for i, interval in enumerate(config.retry_intervals):
+        calibration = config.calibration.with_streaming(
+            retry_interval=interval, max_retries=1000)
+        tb = campus_grid(seed=config.seed + i, n_nodes=1,
+                         calibration=calibration)
+        env = tb.env
+        site = tb.site("uab")
+        node = site.nodes[0]
+        tb.network.inject_outage("core", site.gatekeeper_host,
+                                 config.outage_start, config.outage_duration)
+        session = InteractiveSession(env, tb.network, tb.rng,
+                                     calibration.streaming, "ui",
+                                     StreamingMode.RELIABLE)
+
+        def app(ctx) -> Generator:
+            for t in range(config.ticks):
+                yield from ctx.io(config.tick_period)
+                yield from ctx.stdio.write(f"tick{t}", nbytes=16, eol=True)
+            yield from ctx.stdio.eof()
+            return "done"
+
+        node.acquire("retry-ablation")
+        proc = node.execute(app, "ticker", interactive=True,
+                            setup=session.make_setup(node.name, 0))
+        session.watch(proc)
+
+        def reader() -> Generator:
+            got = []
+            recovery_at = None
+            for _ in range(config.ticks):
+                line = yield from session.read_line()
+                got.append(line.data)
+                if recovery_at is None and line.time >= config.outage_start:
+                    recovery_at = line.time
+            return (got, recovery_at, env.now)
+
+        rproc = env.process(reader(), name=f"retry/{interval}")
+        env.run(until=rproc)
+        got, recovery_at, finished_at = rproc.value
+        ok = got == [f"tick{t}" for t in range(config.ticks)]
+        retries = session.agents[0].sender.stats.retries
+        outage_end = config.outage_start + config.outage_duration
+        # Recovery latency: first delivery after the link came back.
+        delivery[interval] = max((recovery_at or finished_at) - outage_end,
+                                 0.0)
+        table.add_row(interval, "yes" if ok else "NO", delivery[interval],
+                      retries)
+        result.check(
+            f"retry interval {interval:g}s: every tick delivered in order",
+            ok, f"{len(got)}/{config.ticks} lines")
+    result.tables.append(table)
+    result.data["delivery"] = delivery
+
+    intervals = sorted(config.retry_intervals)
+    result.check(
+        "shorter retry intervals recover (weakly) sooner after the outage",
+        all(delivery[a] <= delivery[b] + 0.1
+            for a, b in zip(intervals, intervals[1:])),
+        " -> ".join(f"{i:g}s:{delivery[i]:.1f}s" for i in intervals))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ablation 3: PerformanceLoss sweep (generalises Fig. 8's two points)
+# ---------------------------------------------------------------------------
+@dataclass
+class PerformanceLossSweepConfig:
+    losses: Tuple[int, ...] = (0, 5, 10, 25, 50)
+    iterations: int = 300
+    seed: int = 12
+    calibration: Calibration = field(default_factory=lambda: DEFAULT_CALIBRATION)
+
+
+def run_performance_loss_sweep(
+        config: Optional[PerformanceLossSweepConfig] = None) -> ExperimentResult:
+    config = config or PerformanceLossSweepConfig()
+    result = ExperimentResult(
+        experiment_id="ablation-pl",
+        title="Measured CPU loss vs. PerformanceLoss attribute",
+        paper_reference="§6.3: 'CPU adjustment is close to the value of "
+                        "the Performance Loss attribute'")
+    profile = replace(config.calibration.loop_app,
+                      iterations=config.iterations)
+    table = AsciiTable(["PL", "CPU mean (s)", "measured loss (%)",
+                        "nominal (%)"],
+                       title="PerformanceLoss sweep (batch hog co-located)")
+    measured: Dict[int, float] = {}
+    reference: Optional[float] = None
+    for i, pl in enumerate(config.losses):
+        tb = campus_grid(seed=config.seed + i, n_nodes=1,
+                         calibration=config.calibration)
+        env = tb.env
+        node = tb.site("uab").nodes[0]
+        runtime = AgentRuntime(env, tb.network, tb.rng, node,
+                               config.calibration.middleware)
+        node.acquire(runtime.agent_id)
+
+        def driver() -> Generator:
+            env.process(runtime.behavior()(_direct_ctx(env, tb, node)),
+                        name="pl/agent")
+            yield runtime.ready
+            bt = yield from runtime.run_job("hog", cpu_hog(), False, 0)
+            yield bt.started
+            it = yield from runtime.run_job("loop", make_loop_app(profile),
+                                            True, pl)
+            samples = yield it.finished
+            return samples
+
+        proc = env.process(driver(), name=f"pl/{pl}")
+        env.run(until=proc)
+        cpu_mean = Series.of("cpu", [s.cpu_elapsed for s in proc.value]).mean
+        if pl == 0:
+            reference = cpu_mean
+        base = reference if reference is not None else profile.cpu_burst
+        loss = (cpu_mean - base) / base * 100.0
+        measured[pl] = loss
+        table.add_row(pl, cpu_mean, loss, pl)
+    result.tables.append(table)
+    result.data["measured_loss"] = measured
+
+    losses = sorted(config.losses)
+    result.check(
+        "measured loss is monotone in PL",
+        all(measured[a] <= measured[b] + 0.5
+            for a, b in zip(losses, losses[1:])),
+        " -> ".join(f"{pl}:{measured[pl]:.1f}%" for pl in losses))
+    result.check(
+        "measured loss never exceeds the nominal PL (quantum flooring)",
+        all(measured[pl] <= pl + 0.5 for pl in losses),
+        "flooring keeps the agent under the user's bound")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ablation 4: degree of multiprogramming (§5.2 / §7 future work)
+# ---------------------------------------------------------------------------
+@dataclass
+class DegreeSweepConfig:
+    degrees: Tuple[int, ...] = (1, 2, 3)
+    iterations: int = 120
+    seed: int = 17
+    calibration: Calibration = field(default_factory=lambda: DEFAULT_CALIBRATION)
+
+
+def run_degree_sweep(config: Optional[DegreeSweepConfig] = None) -> ExperimentResult:
+    config = config or DegreeSweepConfig()
+    result = ExperimentResult(
+        experiment_id="ablation-degree",
+        title="CPU burst stretch vs. number of co-resident interactive jobs",
+        paper_reference="§5.2/§7: 'our multi-programming system could allow "
+                        "a larger degree of multi-programming'")
+    profile = replace(config.calibration.loop_app,
+                      iterations=config.iterations)
+    table = AsciiTable(["interactive jobs", "CPU burst mean (s)",
+                        "stretch vs 1 job"],
+                       title="Degree-of-multiprogramming sweep")
+    stretch: Dict[int, float] = {}
+    base: Optional[float] = None
+    for i, degree in enumerate(config.degrees):
+        tb = campus_grid(seed=config.seed + i, n_nodes=1,
+                         calibration=config.calibration)
+        env = tb.env
+        node = tb.site("uab").nodes[0]
+        runtime = AgentRuntime(env, tb.network, tb.rng, node,
+                               config.calibration.middleware,
+                               interactive_slots=degree)
+        node.acquire(runtime.agent_id)
+
+        def driver() -> Generator:
+            env.process(runtime.behavior()(_direct_ctx(env, tb, node)),
+                        name="deg/agent")
+            yield runtime.ready
+            tickets = []
+            for k in range(degree):
+                t = yield from runtime.run_job(f"loop{k}",
+                                               make_loop_app(profile),
+                                               True, 10)
+                tickets.append(t)
+            first = yield tickets[0].finished
+            return first
+
+        proc = env.process(driver(), name=f"deg/{degree}")
+        env.run(until=proc)
+        cpu_mean = Series.of("cpu", [s.cpu_elapsed for s in proc.value]).mean
+        if base is None:
+            base = cpu_mean
+        stretch[degree] = cpu_mean / base
+        table.add_row(degree, cpu_mean, stretch[degree])
+    result.tables.append(table)
+    result.data["stretch"] = stretch
+
+    degrees = sorted(config.degrees)
+    result.check(
+        "each extra interactive tenant stretches bursts roughly linearly",
+        all(abs(stretch[d] - d) < 0.25 * d for d in degrees),
+        " ".join(f"{d}:{stretch[d]:.2f}x" for d in degrees))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ablation 5: fair-share half-life (§5.1 / §7 priority management)
+# ---------------------------------------------------------------------------
+@dataclass
+class HalfLifeSweepConfig:
+    half_lives: Tuple[float, ...] = (600.0, 3600.0, 14400.0)
+    usage_duration: float = 3600.0
+    recovery_horizon: float = 14400.0
+    seed: int = 23
+    calibration: Calibration = field(default_factory=lambda: DEFAULT_CALIBRATION)
+
+
+def run_half_life_sweep(
+        config: Optional[HalfLifeSweepConfig] = None) -> ExperimentResult:
+    config = config or HalfLifeSweepConfig()
+    result = ExperimentResult(
+        experiment_id="ablation-halflife",
+        title="Priority recovery vs. fair-share half-life",
+        paper_reference="§5.1: 'if users do not use any resources at all, "
+                        "the original number of credits will gradually be "
+                        "restored, according to h'")
+    table = AsciiTable(
+        ["half-life (s)", "peak priority", "priority after recovery",
+         "recovered fraction"],
+        title="Half-life sweep (one user, 1h of full-grid batch usage)",
+        precision=4)
+    recovered: Dict[float, float] = {}
+    for half_life in config.half_lives:
+        fs_config = replace(config.calibration.fairshare,
+                            half_life=half_life)
+        env = Environment()
+        accounting = FairShareAccounting(env, fs_config, total_cpus=10,
+                                         autostart=False)
+        accounting.job_started("hog", "job-1", 10, af_batch())
+        steps_busy = int(config.usage_duration / fs_config.update_interval)
+        for _ in range(steps_busy):
+            env._now += fs_config.update_interval
+            accounting.step()
+        peak = accounting.priority("hog")
+        accounting.job_finished("hog", "job-1")
+        steps_idle = int(config.recovery_horizon / fs_config.update_interval)
+        for _ in range(steps_idle):
+            env._now += fs_config.update_interval
+            accounting.step()
+        after = accounting.priority("hog")
+        frac = 1.0 - after / peak if peak > 0 else 1.0
+        recovered[half_life] = frac
+        table.add_row(half_life, peak, after, frac)
+    result.tables.append(table)
+    result.data["recovered"] = recovered
+
+    lives = sorted(config.half_lives)
+    result.check(
+        "shorter half-life restores credits faster",
+        all(recovered[a] >= recovered[b] - 1e-9
+            for a, b in zip(lives, lives[1:])),
+        " ".join(f"h={h:g}:{recovered[h]*100:.1f}%" for h in lives))
+    result.check(
+        "priority decays toward the initial value when idle",
+        all(0.0 < recovered[h] <= 1.0 for h in lives))
+    return result
+
+
+def run_all_ablations() -> List[ExperimentResult]:
+    return [
+        run_buffer_sweep(),
+        run_retry_sweep(),
+        run_performance_loss_sweep(),
+        run_degree_sweep(),
+        run_half_life_sweep(),
+    ]

@@ -1,0 +1,79 @@
+"""Shared experiment-harness plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..metrics import AsciiTable
+
+
+@dataclass
+class ShapeCheck:
+    """One reproduced-shape assertion (ordering, ratio, crossover)."""
+
+    description: str
+    passed: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        tail = f" ({self.detail})" if self.detail else ""
+        return f"[{mark}] {self.description}{tail}"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one table/figure reproduction produced."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    tables: List[AsciiTable] = field(default_factory=list)
+    checks: List[ShapeCheck] = field(default_factory=list)
+    #: Raw data for downstream consumers (benchmarks, notebooks).
+    data: Dict[str, Any] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def check(self, description: str, passed: bool, detail: str = "") -> ShapeCheck:
+        check = ShapeCheck(description, bool(passed), detail)
+        self.checks.append(check)
+        return check
+
+    def render(self) -> str:
+        out: List[str] = [f"== {self.title} ==",
+                          f"(reproduces {self.paper_reference})", ""]
+        for table in self.tables:
+            out.append(table.render())
+            out.append("")
+        if self.notes:
+            out.extend(self.notes)
+            out.append("")
+        out.append("Shape checks:")
+        for check in self.checks:
+            out.append("  " + check.render())
+        status = "ALL SHAPE CHECKS PASSED" if self.passed \
+            else "SOME SHAPE CHECKS FAILED"
+        out.append(status)
+        return "\n".join(out)
+
+    def render_markdown(self) -> str:
+        out: List[str] = [f"### {self.title}",
+                          f"*Reproduces {self.paper_reference}.*", ""]
+        for table in self.tables:
+            out.append(table.render_markdown())
+            out.append("")
+        if self.notes:
+            out.extend(self.notes)
+            out.append("")
+        out.append("Shape checks:")
+        for check in self.checks:
+            mark = "x" if check.passed else " "
+            tail = f" — {check.detail}" if check.detail else ""
+            out.append(f"- [{mark}] {check.description}{tail}")
+        out.append("")
+        return "\n".join(out)

@@ -1,0 +1,127 @@
+"""Fair-share saturation study (§5.1's protection claim).
+
+"By using this user-priority scheme, we prevent users from always
+submitting their jobs as 'interactive' and therefore saturating the
+system, preventing real interactive jobs from being executed.  If there
+are not enough available resources, jobs belonging to users with worse
+priority are rejected."
+
+Scenario: a *greedy* user floods a small grid with interactive jobs for a
+warm-up phase, building up a bad priority; a *modest* user then competes
+for the last free machine.  With fair-share on, the greedy user's late
+submissions are rejected under scarcity while the modest user's go
+through; with the literal every-user-equal baseline (half-life -> 0
+effectively resets priorities), greed pays no penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..calibration import Calibration, DEFAULT_CALIBRATION
+from ..core import BrokerConfig, CrossBroker
+from ..grid import campus_grid
+from ..jdl import JobDescription, JobCategory, MachineAccess
+from ..metrics import AsciiTable
+from ..workloads import immediate_output_app
+from .common import ExperimentResult
+
+
+@dataclass
+class SaturationConfig:
+    n_nodes: int = 2
+    warmup_jobs: int = 6
+    contest_rounds: int = 4
+    job_runtime: float = 120.0
+    seed: int = 77
+    half_life: float = 3600.0
+    calibration: Calibration = field(default_factory=lambda: DEFAULT_CALIBRATION)
+
+
+def _interactive_job(owner: str) -> JobDescription:
+    return JobDescription(
+        executable="iapp", owner=owner,
+        category=JobCategory.INTERACTIVE,
+        machine_access=MachineAccess.EXCLUSIVE)
+
+
+def _run(config: SaturationConfig) -> Dict[str, List[bool]]:
+    calibration = config.calibration.with_fairshare(
+        half_life=config.half_life, update_interval=30.0,
+        scarcity_margin=0.05)
+    tb = campus_grid(seed=config.seed, n_nodes=config.n_nodes,
+                     calibration=calibration)
+    tb.publish_all_now()
+    env = tb.env
+    broker = CrossBroker(env, tb.network, tb.rng, calibration,
+                         config=BrokerConfig(scarcity_factor=2.0))
+    outcomes: Dict[str, List[bool]] = {"greedy": [], "modest": []}
+
+    def app_factory(rank):
+        return immediate_output_app(run_for=config.job_runtime)
+
+    def driver() -> Generator:
+        # Warm-up: greedy hammers the grid with interactive jobs,
+        # degrading its priority (a_f = 2 per §5.1).
+        for i in range(config.warmup_jobs):
+            submitted = broker.submit(_interactive_job("greedy"), app_factory)
+            yield submitted.process
+            yield env.timeout(60.0)
+        # Let running jobs drain so exactly the *last* machines are in
+        # contention during the contest.
+        yield env.timeout(config.job_runtime + 60.0)
+
+        # Contest: with one node busy, greedy and modest both want the
+        # last free machine, repeatedly.
+        blocker = broker.submit(_interactive_job("background"),
+                                lambda r: immediate_output_app(run_for=1e6))
+        yield blocker.started
+        tb.publish_all_now()
+        for round_idx in range(config.contest_rounds):
+            for owner in ("greedy", "modest"):
+                submitted = broker.submit(_interactive_job(owner),
+                                          app_factory)
+                yield submitted.process
+                outcomes[owner].append(bool(submitted.report.success))
+                if submitted.report.success:
+                    yield submitted.finished
+                tb.publish_all_now()
+                yield env.timeout(30.0)
+        return outcomes
+
+    proc = env.process(driver(), name="saturation")
+    env.run(until=proc)
+    return proc.value
+
+
+def run_fairshare_saturation(
+        config: Optional[SaturationConfig] = None) -> ExperimentResult:
+    config = config or SaturationConfig()
+    result = ExperimentResult(
+        experiment_id="fairshare-saturation",
+        title="Fair-share rejection protects modest users under scarcity",
+        paper_reference="§5.1 (priority-based rejection)")
+    outcomes = _run(config)
+    result.data["outcomes"] = outcomes
+
+    table = AsciiTable(["user", "contest submissions", "accepted",
+                        "rejected"],
+                       title="Contest phase (one free machine, two users)")
+    for owner in ("greedy", "modest"):
+        accepted = sum(outcomes[owner])
+        table.add_row(owner, len(outcomes[owner]), accepted,
+                      len(outcomes[owner]) - accepted)
+    result.tables.append(table)
+
+    greedy_rejects = outcomes["greedy"].count(False)
+    modest_accepts = outcomes["modest"].count(True)
+    result.check(
+        "the greedy user's interactive flood gets rejected under scarcity",
+        greedy_rejects >= 1,
+        f"{greedy_rejects}/{len(outcomes['greedy'])} rejected")
+    result.check(
+        "the modest user is never locked out",
+        modest_accepts == len(outcomes["modest"]),
+        f"{modest_accepts}/{len(outcomes['modest'])} accepted")
+    return result

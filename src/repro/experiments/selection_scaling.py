@@ -1,0 +1,93 @@
+"""§6.1 in-text claim: discovery ≈ 0.5 s regardless of grid size (it is one
+index query), while selection grows with the number of discovered sites
+(the broker refreshes each one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..calibration import Calibration, DEFAULT_CALIBRATION
+from ..grid import europe_testbed
+from ..jdl import JobDescription, JobCategory, MachineAccess
+from ..metrics import AsciiTable, Series
+from ..core import CrossBroker
+from ..workloads import immediate_output_app
+from .common import ExperimentResult
+
+
+@dataclass
+class SelectionScalingConfig:
+    site_counts: Tuple[int, ...] = (5, 10, 20, 40)
+    jobs: int = 10
+    seed: int = 3
+    calibration: Calibration = field(default_factory=lambda: DEFAULT_CALIBRATION)
+
+
+def _measure(config: SelectionScalingConfig,
+             n_sites: int) -> Tuple[Series, Series]:
+    tb = europe_testbed(seed=config.seed + n_sites, n_sites=n_sites,
+                        calibration=config.calibration)
+    tb.publish_all_now()
+    env = tb.env
+    broker = CrossBroker(env, tb.network, tb.rng, config.calibration)
+    discovery: List[float] = []
+    selection: List[float] = []
+
+    def driver() -> Generator:
+        for i in range(config.jobs):
+            job = JobDescription(
+                executable="probe", owner=f"user{i % 3}",
+                category=JobCategory.INTERACTIVE,
+                machine_access=MachineAccess.EXCLUSIVE)
+            submitted = broker.submit(
+                job, lambda r: immediate_output_app(run_for=0.1))
+            yield submitted.finished
+            discovery.append(submitted.report.discovery_time)
+            selection.append(submitted.report.selection_time)
+            yield env.timeout(2.0)
+        return None
+
+    proc = env.process(driver(), name="selscale")
+    env.run(until=proc)
+    return Series.of("discovery", discovery), Series.of("selection", selection)
+
+
+def run_selection_scaling(
+        config: Optional[SelectionScalingConfig] = None) -> ExperimentResult:
+    config = config or SelectionScalingConfig()
+    result = ExperimentResult(
+        experiment_id="selection-scaling",
+        title="Discovery/selection time vs. number of sites",
+        paper_reference="§6.1 in-text timings (0.5 s discovery, 3 s "
+                        "selection at 20 sites)")
+    table = AsciiTable(["sites", "discovery mean (s)", "selection mean (s)"],
+                       title="Two-stage selection scaling")
+    discovery: Dict[int, Series] = {}
+    selection: Dict[int, Series] = {}
+    for n in config.site_counts:
+        d, s = _measure(config, n)
+        discovery[n], selection[n] = d, s
+        table.add_row(n, d.mean, s.mean)
+    result.tables.append(table)
+    result.data["discovery"] = discovery
+    result.data["selection"] = selection
+
+    counts = sorted(config.site_counts)
+    result.check(
+        "selection time grows with the number of sites",
+        all(selection[a].mean < selection[b].mean
+            for a, b in zip(counts, counts[1:])),
+        " -> ".join(f"{n}:{selection[n].mean:.2f}s" for n in counts))
+    lo, hi = discovery[counts[0]].mean, discovery[counts[-1]].mean
+    result.check(
+        "discovery time is roughly flat in grid size",
+        hi < 2.0 * lo + 0.2,
+        f"{counts[0]} sites: {lo:.2f}s vs {counts[-1]} sites: {hi:.2f}s")
+    if 20 in selection:
+        result.check(
+            "selection at 20 sites lands near the paper's ~3 s",
+            1.8 <= selection[20].mean <= 4.5,
+            f"measured {selection[20].mean:.2f}s")
+    return result

@@ -1,0 +1,157 @@
+"""Worker-node CPU scheduling model.
+
+This module is the substrate behind Figure 8.  A worker node's CPU is
+occupied by *tenants* — the interactive job, an optional co-located batch
+job (the multiprogramming agent's two lightweight VMs), or more of each
+when the degree of multiprogramming is raised (paper §5.2, future work).
+
+Sharing model
+-------------
+The glide-in agent enforces ``PerformanceLoss`` (PL) with OS priorities:
+the interactive job always preempts the batch job, but the agent grants the
+batch job PL% of the CPU time the interactive job consumes, in whole
+scheduler quanta.  Consequences reproduced here:
+
+* a CPU burst of length ``L`` is stretched by
+  ``floor(L * PL/100 / quantum)`` whole quanta (plus a context switch per
+  quantum) — the flooring is why the paper's *measured* loss (8 % / 22 %)
+  sits slightly below the nominal PL (10 / 25);
+* an I/O completion can find the batch job inside a non-preemptible
+  section, adding ``~PL/100 × preempt_latency`` to I/O operations — the
+  paper's smaller I/O loss (5 % / 10 %);
+* with no batch tenant, the agent adds *no* per-operation cost
+  (paper: exclusive and shared-alone curves are indistinguishable);
+* several interactive tenants time-share equally ahead of all batch
+  tenants; several batch tenants share the PL allotment equally.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+from ..calibration import SchedulerProfile
+from ..sim import Environment, RandomStreams
+
+
+@dataclass
+class Tenant:
+    """A job resident on the node's CPU."""
+
+    name: str
+    interactive: bool
+    #: PerformanceLoss of the interactive job that brought this pairing
+    #: about; stored on the *interactive* tenant.
+    performance_loss: int = 0
+    #: Daemons (the glide-in agent itself) block while waiting for events
+    #: and are invisible to the sharing arithmetic — the paper measures the
+    #: agent's own overhead as negligible (Fig. 8, shared-alone curve).
+    daemon: bool = False
+    #: CPU-seconds consumed so far (for accounting / fair-share input).
+    consumed: float = 0.0
+
+
+class WorkerCpu:
+    """The CPU of one worker node, shared by registered tenants."""
+
+    def __init__(self, env: Environment, rng: RandomStreams,
+                 profile: SchedulerProfile, name: str = "cpu") -> None:
+        self.env = env
+        self.rng = rng
+        self.profile = profile
+        self.name = name
+        self._tenants: Dict[str, Tenant] = {}
+
+    # -- tenancy -----------------------------------------------------------
+    def attach(self, name: str, interactive: bool,
+               performance_loss: int = 0, daemon: bool = False) -> Tenant:
+        if name in self._tenants:
+            raise ValueError(f"tenant {name!r} already attached to {self.name}")
+        tenant = Tenant(name, interactive, performance_loss, daemon)
+        self._tenants[name] = tenant
+        return tenant
+
+    def detach(self, name: str) -> None:
+        self._tenants.pop(name, None)
+
+    def tenants(self) -> Dict[str, Tenant]:
+        return dict(self._tenants)
+
+    @property
+    def interactive_count(self) -> int:
+        return sum(1 for t in self._tenants.values()
+                   if t.interactive and not t.daemon)
+
+    @property
+    def batch_count(self) -> int:
+        return sum(1 for t in self._tenants.values()
+                   if not t.interactive and not t.daemon)
+
+    # -- execution ---------------------------------------------------------
+    def burst_elapsed(self, tenant: Tenant, work: float) -> float:
+        """Wall-clock time for ``work`` CPU-seconds by ``tenant`` (no jitter)."""
+        profile = self.profile
+        if tenant.interactive:
+            # Interactive tenants time-share equally ahead of batch ones.
+            k = max(self.interactive_count, 1)
+            elapsed = work * k
+            if self.batch_count > 0 and tenant.performance_loss > 0:
+                share = tenant.performance_loss / 100.0
+                quanta = math.floor(work * share / profile.quantum)
+                elapsed += quanta * (profile.quantum + profile.context_switch)
+            return elapsed
+        # Batch tenant: runs full speed when alone; under an interactive
+        # tenant it only receives the PL allotment of whole quanta.
+        interactive = [t for t in self._tenants.values()
+                       if t.interactive and not t.daemon]
+        if not interactive:
+            k = max(self.batch_count, 1)
+            return work * k
+        pl = max((t.performance_loss for t in interactive), default=0)
+        if pl <= 0:
+            # Starved until the interactive job leaves; model as a very
+            # large stretch bounded by the background trickle the OS
+            # still grants (1 %).
+            return work * 100.0
+        share = pl / 100.0 / max(self.batch_count, 1)
+        return work / share
+
+    def run(self, tenant: Tenant, work: float,
+            stream: Optional[str] = None) -> Generator:
+        """Consume ``work`` CPU-seconds; returns the elapsed wall time.
+
+        The sharing state is sampled at burst start — bursts in this
+        substrate are short relative to tenancy changes (the Fig. 8 loop
+        iterates ~1 s bursts against multi-minute jobs), and the paper's
+        measurement has the same granularity.
+        """
+        if tenant.name not in self._tenants:
+            raise ValueError(f"tenant {tenant.name!r} is not attached")
+        if work < 0:
+            raise ValueError("work must be >= 0")
+        elapsed = self.burst_elapsed(tenant, work)
+        if stream is not None and elapsed > 0:
+            elapsed = self.rng.jitter(stream, elapsed, 0.002)
+        if elapsed > 0:
+            yield self.env.timeout(elapsed)
+        tenant.consumed += work
+        return elapsed
+
+    def io_delay(self, tenant: Tenant, stream: Optional[str] = None) -> float:
+        """Extra latency an I/O completion suffers from CPU contention.
+
+        When a batch tenant shares the node, the I/O interrupt finds it in
+        a non-preemptible section with probability proportional to its
+        allotment; the interactive job then waits out the preemption
+        latency.
+        """
+        if not tenant.interactive or self.batch_count == 0:
+            return 0.0
+        pl = tenant.performance_loss
+        if pl <= 0:
+            return 0.0
+        delay = (pl / 100.0) * self.profile.preempt_latency
+        if stream is not None:
+            delay = self.rng.jitter(stream, delay, 0.10)
+        return delay

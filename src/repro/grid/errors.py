@@ -1,0 +1,27 @@
+"""Grid-substrate exceptions."""
+
+from __future__ import annotations
+
+
+class GridError(Exception):
+    """Base class for grid-substrate failures."""
+
+
+class SubmissionError(GridError):
+    """A job could not be submitted to a site."""
+
+
+class QueueFullError(SubmissionError):
+    """The local scheduler's queue rejected the job."""
+
+
+class NoResourcesError(GridError):
+    """No machine (or VM slot) satisfies the request."""
+
+
+class CoAllocationError(GridError):
+    """A parallel job could not be co-allocated across sites."""
+
+
+class AgentDeadError(GridError):
+    """A glide-in agent died (killed by the local scheduler or node failure)."""

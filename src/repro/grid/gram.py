@@ -1,0 +1,199 @@
+"""GRAM-like gatekeeper: the Globus door into a site.
+
+Paper §3: "Each grid site is composed of a cluster of machines consisting
+of a gatekeeper and many worker nodes managed through a local queuing
+system."  Submission through the gatekeeper pays GSI authentication, the
+gatekeeper/jobmanager traversal, and (for CrossBroker) a two-phase commit —
+the costs that make Table I's exclusive/batch rows an order of magnitude
+slower than direct agent dispatch.
+
+Job state *notifications* (started/finished) are modelled as instantaneous
+callback events on the returned handle: the paper measures only the
+submission path and the first-output path, both of which are explicit here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, Optional
+
+from ..calibration import MiddlewareCosts
+from ..net import Credential, Network, RpcClient, RpcServer, handshake
+from ..sim import Environment, RandomStreams
+from .batchsystem import BatchHandle, LocalBatchSystem
+from .errors import SubmissionError
+from .workernode import Behavior, MachineContext
+
+GRAM_PORT = 2119
+
+
+@dataclass
+class GramJobTicket:
+    """What a gram.submit returns: the LRMS handle plus protocol state."""
+
+    gram_id: str
+    handle: BatchHandle
+    committed: bool
+
+
+class Gatekeeper:
+    """The gatekeeper service of one site."""
+
+    def __init__(self, env: Environment, network: Network, rng: RandomStreams,
+                 site: str, host: str, lrms: LocalBatchSystem,
+                 costs: MiddlewareCosts,
+                 credential: Optional[Credential] = None) -> None:
+        self.env = env
+        self.network = network
+        self.rng = rng
+        self.site = site
+        self.host = host
+        self.lrms = lrms
+        self.costs = costs
+        self.credential = credential or Credential(f"/DC=org/DC=crossgrid/CN=gk.{site}")
+        self._tickets: Dict[str, GramJobTicket] = {}
+        self._next_id = 0
+        #: Optional provider of the site's full advert (set by Site); the
+        #: selection refresh of §6.1 queries this for the authoritative
+        #: queue state, bypassing MDS staleness.
+        self.info_fn: Optional[Callable[[], Dict]] = None
+        self.server = RpcServer(network, host, GRAM_PORT, name=f"gram@{site}")
+        self.server.register("gram.ping", lambda: self.site)
+        self.server.register("gram.queue_info", self._handle_queue_info)
+        self.server.register("gram.submit", self._handle_submit)
+        self.server.register("gram.commit", self._handle_commit)
+        self.server.register("gram.status", self._handle_status)
+        self.server.register("gram.cancel", self._handle_cancel)
+
+    def _handle_queue_info(self) -> Dict:
+        """Fresh local queue state (the GRIS view of this site)."""
+        if self.info_fn is not None:
+            return dict(self.info_fn())
+        return {
+            "SiteName": self.site,
+            "FreeCPUs": self.lrms.free_count,
+            "TotalCPUs": self.lrms.total_nodes,
+            "QueueLength": self.lrms.queue_length,
+        }
+
+    # -- handlers --------------------------------------------------------
+    def _handle_submit(self, label: str, owner: str, behavior: Behavior,
+                       interactive: bool = False, performance_loss: int = 0,
+                       two_phase: bool = False, daemon: bool = False,
+                       priority: float = 0.0,
+                       setup: Optional[Callable[[MachineContext], None]] = None,
+                       ) -> Generator:
+        """Jobmanager spawn + RSL parsing, then enqueue at the LRMS."""
+        overhead = self.rng.jitter(f"gram/{self.site}/overhead",
+                                   self.costs.gram_overhead, 0.10)
+        yield self.env.timeout(overhead)
+        if not self.lrms.has_capacity():
+            raise SubmissionError(f"{self.site}: no capacity (queue full)")
+        handle = self.lrms.submit(label, owner, behavior,
+                                  interactive=interactive,
+                                  performance_loss=performance_loss,
+                                  daemon=daemon, priority=priority,
+                                  setup=setup)
+        self._next_id += 1
+        gram_id = f"https://{self.host}:{GRAM_PORT}/{self._next_id}"
+        ticket = GramJobTicket(gram_id, handle, committed=not two_phase)
+        self._tickets[gram_id] = ticket
+        return ticket
+
+    def _handle_commit(self, gram_id: str) -> Generator:
+        ticket = self._tickets.get(gram_id)
+        if ticket is None:
+            raise SubmissionError(f"unknown gram id {gram_id}")
+        yield self.env.timeout(
+            self.rng.jitter(f"gram/{self.site}/commit", 0.15, 0.2))
+        ticket.committed = True
+        return gram_id
+
+    def _handle_status(self, gram_id: str) -> str:
+        ticket = self._tickets.get(gram_id)
+        if ticket is None:
+            raise SubmissionError(f"unknown gram id {gram_id}")
+        return ticket.handle.state.value
+
+    def _handle_cancel(self, gram_id: str) -> bool:
+        ticket = self._tickets.get(gram_id)
+        if ticket is None:
+            return False
+        return self.lrms.cancel(ticket.handle)
+
+
+class GramClient:
+    """Client-side GRAM: GSI-authenticated RPC to a gatekeeper."""
+
+    def __init__(self, env: Environment, network: Network, rng: RandomStreams,
+                 src_host: str, gatekeeper_host: str, costs: MiddlewareCosts,
+                 credential: Optional[Credential] = None) -> None:
+        self.env = env
+        self.network = network
+        self.rng = rng
+        self.src_host = src_host
+        self.gatekeeper_host = gatekeeper_host
+        self.costs = costs
+        self.credential = credential or Credential("/DC=org/DC=crossgrid/CN=user")
+        self._rpc: Optional[RpcClient] = None
+
+    def connect(self) -> Generator:
+        """TCP connect + GSI mutual authentication."""
+        self._rpc = RpcClient(self.network, self.src_host,
+                              self.gatekeeper_host, GRAM_PORT)
+        yield from self._rpc.connect()
+        rtt = 2.0 * self.network.base_transfer_time(
+            self.src_host, self.gatekeeper_host, 256)
+        server_cred = Credential(f"/DC=org/DC=crossgrid/CN={self.gatekeeper_host}")
+        yield from handshake(self.env, self.rng, self.credential, server_cred,
+                             self.costs.gsi_handshake, rtt,
+                             stream=f"gsi/{self.src_host}->{self.gatekeeper_host}")
+        return self
+
+    def submit(self, label: str, owner: str, behavior: Behavior,
+               interactive: bool = False, performance_loss: int = 0,
+               two_phase: bool = False, daemon: bool = False,
+               priority: float = 0.0,
+               setup: Optional[Callable[[MachineContext], None]] = None,
+               ) -> Generator:
+        """Submit; with ``two_phase`` the commit round is performed too.
+
+        ``priority`` is forwarded to priority-policy LRMSes (the broker
+        passes the owner's fair-share value, so Condor-style sites order
+        their queues consistently with the grid-level accounting).
+        """
+        if self._rpc is None:
+            raise SubmissionError("GramClient is not connected")
+        # GRAM protocol chatter: every submission exchanges many small
+        # control messages, each paying a path round trip — this is what
+        # makes wide-area submissions measurably slower (Table I).
+        rtt = 2.0 * self.network.base_transfer_time(
+            self.src_host, self.gatekeeper_host, 128)
+        yield self.env.timeout(self.costs.control_messages * rtt)
+        ticket = yield from self._rpc.call(
+            "gram.submit", label, owner, behavior,
+            interactive=interactive, performance_loss=performance_loss,
+            two_phase=two_phase, daemon=daemon, priority=priority,
+            setup=setup, nbytes=2048)
+        if two_phase:
+            commit_cost = self.rng.jitter(
+                f"gram/{self.gatekeeper_host}/2pc",
+                self.costs.two_phase_commit, 0.15)
+            yield self.env.timeout(commit_cost)
+            yield from self._rpc.call("gram.commit", ticket.gram_id, nbytes=128)
+        return ticket
+
+    def status(self, gram_id: str) -> Generator:
+        assert self._rpc is not None
+        state = yield from self._rpc.call("gram.status", gram_id, nbytes=64)
+        return state
+
+    def cancel(self, gram_id: str) -> Generator:
+        assert self._rpc is not None
+        ok = yield from self._rpc.call("gram.cancel", gram_id, nbytes=64)
+        return ok
+
+    def close(self) -> Generator:
+        if self._rpc is not None:
+            yield from self._rpc.close()
+            self._rpc = None

@@ -1,0 +1,41 @@
+"""Real split execution: live subprocesses, pipes, and TCP sockets.
+
+The simulated :mod:`repro.streaming` package carries the paper's
+evaluation; this package proves the same Grid Console protocol on real
+processes — the part of the contribution that is implementable in pure
+Python without root or ``LD_PRELOAD``.
+"""
+
+from .agent import AgentStats, RealConsoleAgent
+from .protocol import (
+    Frame,
+    ProtocolError,
+    T_EOF,
+    T_EXIT,
+    T_HELLO,
+    T_KILL,
+    T_STDERR,
+    T_STDIN,
+    T_STDOUT,
+    read_frame,
+    write_frame,
+)
+from .shadow import ConsoleEvent, RealConsoleShadow
+
+__all__ = [
+    "AgentStats",
+    "ConsoleEvent",
+    "Frame",
+    "ProtocolError",
+    "RealConsoleAgent",
+    "RealConsoleShadow",
+    "T_EOF",
+    "T_EXIT",
+    "T_HELLO",
+    "T_KILL",
+    "T_STDERR",
+    "T_STDIN",
+    "T_STDOUT",
+    "read_frame",
+    "write_frame",
+]

@@ -1,0 +1,52 @@
+"""Job Description Language: parser, expression evaluator, typed job model."""
+
+from .expr import (
+    Binary,
+    Call,
+    Context,
+    EvalError,
+    Expr,
+    Literal,
+    Ref,
+    UNDEFINED,
+    Unary,
+    evaluate,
+    matches,
+    rank_value,
+)
+from .job import (
+    JdlValidationError,
+    JobCategory,
+    JobDescription,
+    JobFlavor,
+    MachineAccess,
+    StreamingMode,
+)
+from .lexer import JdlSyntaxError, Token, tokenize
+from .parser import parse_document, parse_expression
+
+__all__ = [
+    "Binary",
+    "Call",
+    "Context",
+    "EvalError",
+    "Expr",
+    "JdlSyntaxError",
+    "JdlValidationError",
+    "JobCategory",
+    "JobDescription",
+    "JobFlavor",
+    "Literal",
+    "MachineAccess",
+    "Ref",
+    "StreamingMode",
+    "Token",
+    "UNDEFINED",
+    "Unary",
+    "evaluate",
+    "matches",
+    "parse_document",
+    "parse_expression",
+    "rank_value",
+    "tokenize",
+]

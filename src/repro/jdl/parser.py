@@ -1,0 +1,226 @@
+"""Recursive-descent parser for JDL documents and classad expressions.
+
+Grammar (paper Figure 2 dialect)::
+
+    document   := { entry }
+    entry      := IDENT '=' value ';'
+    value      := list | expr
+    list       := '{' [ value { ',' value } ] '}'
+    expr       := ternary-free classad expression with precedence
+                  ||  &&  ==/!=  </<=/>/>=  +/-  */   unary !/-  primary
+    primary    := literal | reference | call | '(' expr ')'
+    reference  := IDENT [ '.' IDENT ]        (scope 'other'/'self' or bare)
+    call       := IDENT '(' [ expr {',' expr} ] ')'
+
+A *document* maps attribute names (lower-cased) to plain Python values
+where the value is a literal or list of literals, and to
+:class:`~repro.jdl.expr.Expr` trees otherwise (``Requirements``/``Rank``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .expr import Binary, Call, Expr, Literal, Ref, UNDEFINED, Unary
+from .lexer import JdlSyntaxError, Token, tokenize
+
+_KEYWORD_LITERALS = {"true": True, "false": False}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers --------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self._current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        if not self._check(kind, value):
+            token = self._current
+            want = value or kind
+            raise JdlSyntaxError(
+                f"expected {want!r}, found {token.value!r} ({token.kind})",
+                token.line, token.column)
+        return self._advance()
+
+    def _error(self, message: str) -> JdlSyntaxError:
+        token = self._current
+        return JdlSyntaxError(message, token.line, token.column)
+
+    # -- document --------------------------------------------------------
+    def parse_document(self) -> Dict[str, Any]:
+        entries: Dict[str, Any] = {}
+        # Tolerate an optional classad-style '[' ... ']' wrapper.
+        bracketed = False
+        if self._check("PUNCT", "["):
+            self._advance()
+            bracketed = True
+        while not self._check("EOF"):
+            if bracketed and self._check("PUNCT", "]"):
+                self._advance()
+                break
+            name = self._expect("IDENT").value
+            self._expect("OP", "=")
+            value = self.parse_value()
+            self._expect("PUNCT", ";")
+            key = name.lower()
+            if key in entries:
+                raise self._error(f"duplicate attribute {name!r}")
+            entries[key] = value
+        return entries
+
+    # -- values -----------------------------------------------------------
+    def parse_value(self) -> Any:
+        if self._check("PUNCT", "{"):
+            return self._parse_list()
+        expr = self.parse_expr()
+        return _simplify(expr)
+
+    def _parse_list(self) -> List[Any]:
+        self._expect("PUNCT", "{")
+        items: List[Any] = []
+        if not self._check("PUNCT", "}"):
+            while True:
+                items.append(self.parse_value())
+                if self._check("PUNCT", ","):
+                    self._advance()
+                    continue
+                break
+        self._expect("PUNCT", "}")
+        return items
+
+    # -- expressions (precedence climbing) ---------------------------------
+    def parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._check("OP", "||"):
+            self._advance()
+            left = Binary("||", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_equality()
+        while self._check("OP", "&&"):
+            self._advance()
+            left = Binary("&&", left, self._parse_equality())
+        return left
+
+    def _parse_equality(self) -> Expr:
+        left = self._parse_relational()
+        while self._current.kind == "OP" and self._current.value in ("==", "!="):
+            op = self._advance().value
+            left = Binary(op, left, self._parse_relational())
+        return left
+
+    def _parse_relational(self) -> Expr:
+        left = self._parse_additive()
+        while self._current.kind == "OP" and self._current.value in ("<", "<=", ">", ">="):
+            op = self._advance().value
+            left = Binary(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self._current.kind == "OP" and self._current.value in ("+", "-"):
+            op = self._advance().value
+            left = Binary(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self._current.kind == "OP" and self._current.value in ("*", "/"):
+            op = self._advance().value
+            left = Binary(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self._current.kind == "OP" and self._current.value in ("!", "-"):
+            op = self._advance().value
+            return Unary(op, self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._current
+        if token.kind == "STRING":
+            self._advance()
+            return Literal(token.value)
+        if token.kind == "NUMBER":
+            self._advance()
+            text = token.value
+            return Literal(float(text) if "." in text else int(text))
+        if token.kind == "PUNCT" and token.value == "(":
+            self._advance()
+            expr = self.parse_expr()
+            self._expect("PUNCT", ")")
+            return expr
+        if token.kind == "IDENT":
+            self._advance()
+            lowered = token.value.lower()
+            if lowered in _KEYWORD_LITERALS:
+                return Literal(_KEYWORD_LITERALS[lowered])
+            if lowered == "undefined":
+                return Literal(UNDEFINED)
+            # Function call?
+            if self._check("PUNCT", "("):
+                self._advance()
+                args: List[Expr] = []
+                if not self._check("PUNCT", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if self._check("PUNCT", ","):
+                            self._advance()
+                            continue
+                        break
+                self._expect("PUNCT", ")")
+                return Call(token.value, tuple(args))
+            # Scoped reference?
+            if self._check("OP", "."):
+                self._advance()
+                member = self._expect("IDENT").value
+                scope = lowered if lowered in ("other", "self") else None
+                if scope is None:
+                    raise JdlSyntaxError(
+                        f"unknown scope {token.value!r} (expected other/self)",
+                        token.line, token.column)
+                return Ref(scope, member)
+            return Ref(None, token.value)
+        raise self._error(f"unexpected token {token.value!r}")
+
+
+def _simplify(expr: Expr) -> Any:
+    """Collapse literal-only expressions to plain Python values."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, Unary) and expr.op == "-" and isinstance(expr.operand, Literal):
+        value = expr.operand.value
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return -value
+    return expr
+
+
+def parse_document(text: str) -> Dict[str, Any]:
+    """Parse a full JDL document into an attribute dict."""
+    return _Parser(tokenize(text)).parse_document()
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a standalone classad expression (for Requirements/Rank)."""
+    parser = _Parser(tokenize(text))
+    expr = parser.parse_expr()
+    parser._expect("EOF")
+    return expr

@@ -1,0 +1,35 @@
+"""Measurement post-processing: tables, series, shape checks."""
+
+from .figures import AsciiChart, series_chart, size_profile_chart
+from .timeline import JobLane, render_timeline
+from .series import (
+    Series,
+    crossover_size,
+    downsample,
+    indistinguishable,
+    ranking,
+    ratio,
+    relative_increase,
+    sparkline,
+    winner,
+)
+from .tables import AsciiTable, format_cell
+
+__all__ = [
+    "AsciiChart",
+    "AsciiTable",
+    "JobLane",
+    "render_timeline",
+    "series_chart",
+    "size_profile_chart",
+    "Series",
+    "crossover_size",
+    "downsample",
+    "format_cell",
+    "indistinguishable",
+    "ranking",
+    "ratio",
+    "relative_increase",
+    "sparkline",
+    "winner",
+]

@@ -1,0 +1,73 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def format_cell(value: Any, precision: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        magnitude = abs(value)
+        if magnitude != 0 and magnitude < 10 ** (-precision):
+            return f"{value:.2e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+class AsciiTable:
+    """Minimal fixed-width table with a title and column alignment."""
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None,
+                 precision: int = 2) -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.precision = precision
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}")
+        self.rows.append([format_cell(c, self.precision) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "+".join("-" * (w + 2) for w in widths)
+        sep = f"+{sep}+"
+
+        def line(cells: Sequence[str]) -> str:
+            return "| " + " | ".join(
+                c.ljust(w) if i == 0 else c.rjust(w)
+                for i, (c, w) in enumerate(zip(cells, widths))) + " |"
+
+        out: List[str] = []
+        if self.title:
+            out.append(self.title)
+        out.append(sep)
+        out.append(line(self.headers))
+        out.append(sep)
+        for row in self.rows:
+            out.append(line(row))
+        out.append(sep)
+        return "\n".join(out)
+
+    def render_markdown(self) -> str:
+        out: List[str] = []
+        if self.title:
+            out.append(f"**{self.title}**")
+            out.append("")
+        out.append("| " + " | ".join(self.headers) + " |")
+        out.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            out.append("| " + " | ".join(row) + " |")
+        return "\n".join(out)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,15 @@
+"""Multiprogramming: glide-in agents, lightweight VMs, CPU sharing."""
+
+from .agent import AGENT_PORT, AgentJobTicket, AgentRuntime
+from .registry import AgentRecord, AgentRegistry
+from .vm import VmKind, VmSlot
+
+__all__ = [
+    "AGENT_PORT",
+    "AgentJobTicket",
+    "AgentRecord",
+    "AgentRegistry",
+    "AgentRuntime",
+    "VmKind",
+    "VmSlot",
+]

@@ -1,0 +1,68 @@
+"""Simulated network substrate: topology, connections, GSI, RPC, failures."""
+
+from .errors import (
+    ConnectionClosedError,
+    ConnectionRefusedError_,
+    LinkDownError,
+    NetworkError,
+    NoRouteError,
+    PortInUseError,
+    RpcError,
+)
+from .failures import OutagePlan, periodic_outages, random_outages
+from .gsi import Credential, GsiError, GsiSession, ProxyCredential, handshake
+from .relay import (
+    RELAY_PORT,
+    RelayService,
+    TunnelEndpoint,
+    TunnelError,
+    VirtualConnection,
+    connect_via_relay,
+)
+from .rpc import RpcClient, RpcRequest, RpcResponse, RpcServer
+from .sockets import (
+    ConnectionEnd,
+    Datagram,
+    DYNAMIC_PORT_BASE,
+    Listener,
+    PortAllocator,
+    connect,
+)
+from .topology import Host, Link, Network
+
+__all__ = [
+    "ConnectionClosedError",
+    "ConnectionEnd",
+    "ConnectionRefusedError_",
+    "Credential",
+    "Datagram",
+    "DYNAMIC_PORT_BASE",
+    "GsiError",
+    "GsiSession",
+    "Host",
+    "Link",
+    "LinkDownError",
+    "Listener",
+    "Network",
+    "NetworkError",
+    "NoRouteError",
+    "OutagePlan",
+    "PortAllocator",
+    "PortInUseError",
+    "ProxyCredential",
+    "RELAY_PORT",
+    "RelayService",
+    "RpcClient",
+    "RpcError",
+    "RpcRequest",
+    "RpcResponse",
+    "RpcServer",
+    "TunnelEndpoint",
+    "TunnelError",
+    "VirtualConnection",
+    "connect",
+    "connect_via_relay",
+    "handshake",
+    "periodic_outages",
+    "random_outages",
+]

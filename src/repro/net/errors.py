@@ -1,0 +1,36 @@
+"""Network-layer exceptions."""
+
+from __future__ import annotations
+
+
+class NetworkError(Exception):
+    """Base class for simulated network failures."""
+
+
+class NoRouteError(NetworkError):
+    """No path of links exists between the two hosts."""
+
+
+class LinkDownError(NetworkError):
+    """A link on the path is down (failure-injection window)."""
+
+
+class ConnectionClosedError(NetworkError):
+    """The peer closed the connection."""
+
+
+class ConnectionRefusedError_(NetworkError):
+    """No listener is bound on the destination port."""
+
+
+class PortInUseError(NetworkError):
+    """Attempt to bind a port that already has a listener."""
+
+
+class RpcError(NetworkError):
+    """An RPC failed remotely; carries the remote exception message."""
+
+    def __init__(self, method: str, message: str) -> None:
+        super().__init__(f"RPC {method!r} failed: {message}")
+        self.method = method
+        self.message = message

@@ -1,0 +1,49 @@
+"""Failure-injection helpers.
+
+The paper's *reliable* streaming mode exists precisely for "execution of
+interactive jobs over unreliable networks"; these helpers generate the
+outage patterns the tests and ablation benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..sim import RandomStreams
+from .topology import Network
+
+
+@dataclass(frozen=True)
+class OutagePlan:
+    """A deterministic schedule of link outages."""
+
+    link: Tuple[str, str]
+    windows: Tuple[Tuple[float, float], ...]  # (start, duration)
+
+    def apply(self, network: Network) -> None:
+        a, b = self.link
+        for start, duration in self.windows:
+            network.inject_outage(a, b, start, duration)
+
+
+def periodic_outages(link: Tuple[str, str], first: float, period: float,
+                     duration: float, count: int) -> OutagePlan:
+    """Outages of ``duration`` every ``period`` seconds, ``count`` times."""
+    if period <= duration:
+        raise ValueError("period must exceed duration")
+    windows = tuple((first + i * period, duration) for i in range(count))
+    return OutagePlan(link, windows)
+
+
+def random_outages(rng: RandomStreams, link: Tuple[str, str], horizon: float,
+                   mean_interval: float, mean_duration: float,
+                   stream: str = "outage") -> OutagePlan:
+    """Poisson-arriving outages with exponential durations up to ``horizon``."""
+    windows: List[Tuple[float, float]] = []
+    t = rng.exponential(f"{stream}/gap", mean_interval)
+    while t < horizon:
+        duration = max(rng.exponential(f"{stream}/dur", mean_duration), 1e-3)
+        windows.append((t, duration))
+        t += duration + rng.exponential(f"{stream}/gap", mean_interval)
+    return OutagePlan(link, tuple(windows))

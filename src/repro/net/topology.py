@@ -1,0 +1,210 @@
+"""Hosts, links, and routed message delivery.
+
+The network is an undirected graph of named :class:`Host` nodes joined by
+:class:`Link` edges, each with one-way latency, bandwidth, and jitter.
+Delivery time over a path is ``sum(latencies) + nbytes / min(bandwidth)``
+plus multiplicative jitter.  Links can be taken down for failure-injection
+windows; a transfer that starts while any path link is down raises
+:class:`LinkDownError` (the reliable streaming mode's retry loop depends on
+this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..sim import Environment, RandomStreams
+from .errors import LinkDownError, NoRouteError
+
+
+@dataclass
+class Link:
+    """A bidirectional network link."""
+
+    a: str
+    b: str
+    latency: float
+    bandwidth: float
+    jitter: float = 0.05
+    #: Closed-open failure windows [(start, end)); sorted by start.
+    outages: List[Tuple[float, float]] = field(default_factory=list)
+
+    def key(self) -> Tuple[str, str]:
+        return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+    def is_up(self, time: float) -> bool:
+        for start, end in self.outages:
+            if start <= time < end:
+                return False
+        return True
+
+    def add_outage(self, start: float, duration: float) -> None:
+        if duration <= 0:
+            raise ValueError("outage duration must be > 0")
+        self.outages.append((start, start + duration))
+        self.outages.sort()
+
+    def next_up_time(self, time: float) -> float:
+        """Earliest time >= ``time`` at which the link is up."""
+        t = time
+        for start, end in self.outages:
+            if start <= t < end:
+                t = end
+        return t
+
+
+class Host:
+    """A named machine on the network.
+
+    Port-level communication (sockets, listeners) is provided by
+    :mod:`repro.net.sockets`; this class only carries identity and
+    the per-port listener registry those sockets use.
+    """
+
+    def __init__(self, network: "Network", name: str) -> None:
+        self.network = network
+        self.name = name
+        #: port -> Listener (populated by sockets.Listener)
+        self.listeners: Dict[int, object] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Host {self.name}>"
+
+
+class Network:
+    """The simulated network fabric."""
+
+    def __init__(self, env: Environment, rng: Optional[RandomStreams] = None) -> None:
+        self.env = env
+        self.rng = rng or RandomStreams(0)
+        self.hosts: Dict[str, Host] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._adjacency: Dict[str, List[str]] = {}
+        self._route_cache: Dict[Tuple[str, str], List[Link]] = {}
+        #: Enforces in-order delivery per flow: flow-id -> last arrival time.
+        self._flow_clock: Dict[Tuple[str, str, int], float] = {}
+
+    # -- construction ---------------------------------------------------
+    def add_host(self, name: str) -> Host:
+        if name in self.hosts:
+            raise ValueError(f"duplicate host {name!r}")
+        host = Host(self, name)
+        self.hosts[name] = host
+        self._adjacency.setdefault(name, [])
+        return host
+
+    def host(self, name: str) -> Host:
+        return self.hosts[name]
+
+    def add_link(self, a: str, b: str, latency: float, bandwidth: float,
+                 jitter: float = 0.05) -> Link:
+        if a not in self.hosts or b not in self.hosts:
+            raise ValueError("both endpoints must be existing hosts")
+        if a == b:
+            raise ValueError("self-links are not allowed")
+        link = Link(a, b, latency, bandwidth, jitter)
+        if link.key() in self._links:
+            raise ValueError(f"duplicate link {a}<->{b}")
+        self._links[link.key()] = link
+        self._adjacency[a].append(b)
+        self._adjacency[b].append(a)
+        self._route_cache.clear()
+        return link
+
+    def link(self, a: str, b: str) -> Link:
+        key = (a, b) if a <= b else (b, a)
+        return self._links[key]
+
+    def links(self) -> Iterable[Link]:
+        return self._links.values()
+
+    # -- routing ----------------------------------------------------------
+    def route(self, src: str, dst: str) -> List[Link]:
+        """Shortest path (hop count, BFS) between two hosts."""
+        if src == dst:
+            return []
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        prev: Dict[str, str] = {src: src}
+        frontier = [src]
+        while frontier and dst not in prev:
+            nxt: List[str] = []
+            for node in frontier:
+                for nb in self._adjacency.get(node, ()):
+                    if nb not in prev:
+                        prev[nb] = node
+                        nxt.append(nb)
+            frontier = nxt
+        if dst not in prev:
+            raise NoRouteError(f"no route {src} -> {dst}")
+        path: List[Link] = []
+        node = dst
+        while node != src:
+            path.append(self.link(prev[node], node))
+            node = prev[node]
+        path.reverse()
+        self._route_cache[(src, dst)] = path
+        return path
+
+    def path_up(self, src: str, dst: str, time: Optional[float] = None) -> bool:
+        t = self.env.now if time is None else time
+        return all(link.is_up(t) for link in self.route(src, dst))
+
+    def path_next_up_time(self, src: str, dst: str) -> float:
+        """Earliest time >= now at which every link on the path is up."""
+        t = self.env.now
+        changed = True
+        while changed:
+            changed = False
+            for link in self.route(src, dst):
+                nt = link.next_up_time(t)
+                if nt > t:
+                    t = nt
+                    changed = True
+        return t
+
+    # -- transfer timing ---------------------------------------------------
+    def base_transfer_time(self, src: str, dst: str, nbytes: int) -> float:
+        """Deterministic (jitter-free) delivery time for ``nbytes``."""
+        path = self.route(src, dst)
+        if not path:
+            return 0.0
+        latency = sum(link.latency for link in path)
+        bandwidth = min(link.bandwidth for link in path)
+        return latency + nbytes / bandwidth
+
+    def transfer_time(self, src: str, dst: str, nbytes: int,
+                      stream: str = "net") -> float:
+        """Jittered delivery time; jitter scale is the max along the path."""
+        base = self.base_transfer_time(src, dst, nbytes)
+        if base == 0.0:
+            return 0.0
+        path = self.route(src, dst)
+        jitter = max(link.jitter for link in path)
+        return self.rng.jitter(f"{stream}/{src}->{dst}", base, jitter,
+                               floor=base * 0.25)
+
+    def check_path(self, src: str, dst: str) -> None:
+        """Raise :class:`LinkDownError` if the path is currently broken."""
+        if not self.path_up(src, dst):
+            raise LinkDownError(f"path {src} -> {dst} is down at t={self.env.now:.3f}")
+
+    def ordered_arrival(self, flow: Tuple[str, str, int], delay: float) -> float:
+        """Reserve an in-order arrival slot ``delay`` from now for ``flow``.
+
+        Returns the additional wait (>= ``delay``) guaranteeing FIFO
+        delivery for messages of the same flow.
+        """
+        arrival = self.env.now + delay
+        last = self._flow_clock.get(flow, -1.0)
+        if arrival <= last:
+            arrival = last + 1e-9
+        self._flow_clock[flow] = arrival
+        return arrival - self.env.now
+
+    # -- failure injection -------------------------------------------------
+    def inject_outage(self, a: str, b: str, start: float, duration: float) -> None:
+        """Schedule a failure window on link (a, b)."""
+        self.link(a, b).add_outage(start, duration)

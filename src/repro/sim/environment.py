@@ -1,0 +1,138 @@
+"""The simulation environment: clock, event queue, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Optional, Tuple
+
+from .errors import EmptySchedule, SimulationError, StopSimulation
+from .events import AllOf, AnyOf, Event, NORMAL, Timeout
+from .process import Process, ProcessGenerator
+
+Infinity = float("inf")
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Time is a float in *seconds* throughout this project.  Event processing
+    order at equal time is (priority, insertion id), which makes runs fully
+    deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_proc: Optional[Process] = None
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process whose generator is currently executing, if any."""
+        return self._active_proc
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if none)."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Start a new process from a generator function call."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Put a triggered event on the queue ``delay`` from now."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def step(self) -> None:
+        """Process the next event on the queue."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            # Event was already processed (can happen for events scheduled
+            # twice via trigger-chaining); nothing to do.
+            return
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise SimulationError(repr(exc))  # pragma: no cover - defensive
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run up to that simulation time), or an :class:`Event` (run until
+        the event fires; its value is returned).
+        """
+        if until is not None and not isinstance(until, Event):
+            at = float(until)
+            if at <= self._now:
+                raise ValueError(f"until (={at}) must be greater than the current time")
+            until = Event(self)
+            until._ok = True
+            until._value = None
+            self.schedule(until, priority=NORMAL, delay=at - self._now)
+
+        if isinstance(until, Event):
+            if until.callbacks is None:
+                # Already processed; re-raise stored failures.
+                if not until._ok and isinstance(until._value, BaseException):
+                    raise until._value
+                return until.value
+            until.callbacks.append(_stop_simulate)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        except EmptySchedule:
+            if isinstance(until, Event) and not until.triggered:
+                raise SimulationError(
+                    "No scheduled events left but 'until' event was not triggered"
+                ) from None
+        return None
+
+
+def _stop_simulate(event: Event) -> None:
+    if not event._ok:
+        # The awaited event failed: surface its exception from run().
+        event.defuse()
+        exc = event._value
+        if isinstance(exc, BaseException):
+            raise exc
+        raise SimulationError(repr(exc))  # pragma: no cover - defensive
+    raise StopSimulation(event._value)

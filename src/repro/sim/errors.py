@@ -1,0 +1,46 @@
+"""Exception types used by the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel itself."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Environment.run` at a target event.
+
+    The payload carries the value of the event that stopped the run so
+    ``run(until=...)`` can return it.
+    """
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class EmptySchedule(Exception):
+    """Raised when ``step()`` is called but no events remain."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    Parameters
+    ----------
+    cause:
+        Arbitrary object describing why the interrupt happened.  Grid code
+        uses this to distinguish e.g. preemption from cancellation.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interrupt({self.cause!r})"

@@ -1,0 +1,291 @@
+"""Core event types for the discrete-event kernel.
+
+The design follows the classic callback-event model (as popularised by
+SimPy): an :class:`Event` is a one-shot promise living inside an
+:class:`~repro.sim.environment.Environment`.  Processes yield events to
+suspend themselves; when the event is *triggered* it is placed on the event
+queue, and when the environment *processes* it every registered callback is
+invoked exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+from .errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .environment import Environment
+
+# Scheduling priorities: lower value == handled earlier at equal sim-time.
+URGENT = 0
+NORMAL = 1
+
+
+class _Pending:
+    """Sentinel for an event value that has not been set yet."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<PENDING>"
+
+
+PENDING: Any = _Pending()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    Lifecycle: *untriggered* -> *triggered* (scheduled, value set) ->
+    *processed* (callbacks ran).  ``succeed``/``fail`` trigger the event;
+    both may be called at most once.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callbacks to run when the event is processed; ``None`` afterwards.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is (or was) scheduled."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        if not self.triggered:
+            raise SimulationError(f"Value of {self!r} is not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The payload the event was triggered with."""
+        if self._value is PENDING:
+            raise SimulationError(f"Value of {self!r} is not yet available")
+        return self._value
+
+    # -- failure bookkeeping -------------------------------------------
+    @property
+    def defused(self) -> bool:
+        """True if a failure was acknowledged (prevents run() from raising)."""
+        return self._defused
+
+    def defuse(self) -> None:
+        self._defused = True
+
+    # -- triggering -----------------------------------------------------
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another event (callback chaining)."""
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    # -- combinators ----------------------------------------------------
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_events, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_events, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} object at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"Negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Timeout({self.delay}) object at {id(self):#x}>"
+
+
+class Initialize(Event):
+    """Starts a newly created :class:`~repro.sim.process.Process`."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: Any) -> None:
+        super().__init__(env)
+        assert self.callbacks is not None
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class ConditionValue:
+    """Ordered mapping of the events that fired inside a condition."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(str(key))
+        return key._value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def keys(self) -> Iterable[Event]:
+        return iter(self.events)
+
+    def values(self) -> Iterable[Any]:
+        return (e._value for e in self.events)
+
+    def items(self) -> Iterable[tuple]:
+        return ((e, e._value) for e in self.events)
+
+    def todict(self) -> dict:
+        return {e: e._value for e in self.events}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Waits for a boolean combination of events (``&`` / ``|``)."""
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[List[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("Events from different environments cannot be mixed")
+
+        # Check immediately if the condition already holds (e.g. all events
+        # pre-triggered) -- but do so via an urgent event so that callbacks
+        # still run within the loop.
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+        if not self._events and not self.triggered:
+            self.succeed(ConditionValue())
+
+    def _populate_value(self, value: ConditionValue) -> None:
+        for event in self._events:
+            if isinstance(event, Condition):
+                event._populate_value(value)
+            elif event.callbacks is None and event.triggered:
+                value.events.append(event)
+
+    def _build_value(self, event: Event) -> None:
+        self._remove_check_callbacks()
+        if event._ok:
+            value = ConditionValue()
+            self._populate_value(value)
+            self._ok = True
+            self._value = value
+            self.env.schedule(self)
+
+    def _remove_check_callbacks(self) -> None:
+        for event in self._events:
+            if event.callbacks is not None and self._check in event.callbacks:
+                event.callbacks.remove(self._check)
+            if isinstance(event, Condition):
+                event._remove_check_callbacks()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            # Fail the condition with the same exception.
+            event.defuse()
+            self._remove_check_callbacks()
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self._build_value(event)
+
+    @staticmethod
+    def all_events(events: List[Event], count: int) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: List[Event], count: int) -> bool:
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Condition that fires once every given event has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that fires as soon as any given event fires."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.any_events, events)

@@ -1,0 +1,135 @@
+"""Measurement probes for simulations.
+
+:class:`Monitor` collects (time, value) samples; :class:`EventTrace`
+collects structured, timestamped records.  Both are plain in-memory
+recorders with numpy-backed summary statistics — the experiment harness
+builds every table and figure series from these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Summary of a sample set (times are seconds unless stated otherwise)."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+    @staticmethod
+    def of(values) -> "SummaryStats":
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            nan = float("nan")
+            return SummaryStats(0, nan, nan, nan, nan, nan, nan)
+        return SummaryStats(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+        )
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean:.6g} std={self.std:.3g} "
+                f"min={self.minimum:.6g} p50={self.p50:.6g} "
+                f"p95={self.p95:.6g} max={self.maximum:.6g}")
+
+
+class Monitor:
+    """Time-stamped scalar samples with summary statistics."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values)
+
+    def stats(self) -> SummaryStats:
+        return SummaryStats.of(self._values)
+
+    def series(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+
+@dataclass
+class TraceRecord:
+    """One structured trace entry."""
+
+    time: float
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+
+class EventTrace:
+    """Append-only log of structured records, filterable by kind."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def log(self, time: float, kind: str, **data: Any) -> TraceRecord:
+        rec = TraceRecord(float(time), kind, data)
+        self.records.append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def kinds(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.kind, None)
+        return list(seen)
+
+    def last(self, kind: Optional[str] = None) -> Optional[TraceRecord]:
+        if kind is None:
+            return self.records[-1] if self.records else None
+        for rec in reversed(self.records):
+            if rec.kind == kind:
+                return rec
+        return None
+
+    def durations(self, start_kind: str, end_kind: str, key: str) -> List[float]:
+        """Pair start/end records on ``data[key]`` and return elapsed times."""
+        starts: Dict[Any, float] = {}
+        out: List[float] = []
+        for rec in self.records:
+            if rec.kind == start_kind:
+                starts[rec.data.get(key)] = rec.time
+            elif rec.kind == end_kind:
+                t0 = starts.pop(rec.data.get(key), None)
+                if t0 is not None:
+                    out.append(rec.time - t0)
+        return out

@@ -1,0 +1,144 @@
+"""Generator-backed simulation processes.
+
+A :class:`Process` wraps a Python generator.  Each ``yield`` hands an
+:class:`~repro.sim.events.Event` to the kernel; the process is resumed with
+the event's value when it fires (or has the event's exception thrown into it
+when the event failed).  Processes are themselves events that fire when the
+generator returns, so processes can wait for each other.
+"""
+
+from __future__ import annotations
+
+from types import GeneratorType
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from .errors import Interrupt, SimulationError
+from .events import Event, Initialize, PENDING, URGENT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .environment import Environment
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """An active component of the simulation.
+
+    Created through :meth:`Environment.process`.  The process event fires
+    with the generator's return value when the generator finishes, or fails
+    with the escaping exception.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator,
+                 name: Optional[str] = None) -> None:
+        if not isinstance(generator, GeneratorType):
+            raise ValueError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or generator.__name__
+        #: The event the process is currently waiting for (None if running
+        #: right now or finished).
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True until the wrapped generator has terminated."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process.
+
+        The process is unregistered from its current target event (the event
+        stays pending and may fire later without consequence for this
+        process) and resumed immediately with the interrupt exception.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self.name} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise SimulationError("A process is not allowed to interrupt itself")
+
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks = []
+        interrupt_event.callbacks.append(self._resume)
+        self.env.schedule(interrupt_event, priority=URGENT)
+
+        # Deschedule from the old target so a later trigger does not resume
+        # the process twice.
+        if self._target is not None and self._target.callbacks is not None:
+            if self._resume in self._target.callbacks:
+                self._target.callbacks.remove(self._resume)
+        self._target = None
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        env = self.env
+        env._active_proc = self
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The event failed: throw its exception into the process.
+                    event.defuse()
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        next_event = self._generator.throw(exc)
+                    else:  # pragma: no cover - defensive
+                        next_event = self._generator.throw(SimulationError(repr(exc)))
+            except StopIteration as stop:
+                # Process finished normally.
+                self._target = None
+                env._active_proc = None
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                return
+            except BaseException as exc:
+                # Process died with an exception -> fail the process event.
+                self._target = None
+                env._active_proc = None
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                return
+
+            if not isinstance(next_event, Event):
+                self._target = None
+                env._active_proc = None
+                error = SimulationError(
+                    f"Process {self.name!r} yielded non-event {next_event!r}"
+                )
+                try:
+                    self._generator.throw(error)
+                except BaseException:
+                    pass
+                self._ok = False
+                self._value = error
+                env.schedule(self)
+                return
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: register and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+
+            # Event already processed: loop around and continue immediately
+            # with its stored outcome.
+            event = next_event
+
+        env._active_proc = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Process({self.name}) object at {id(self):#x}>"

@@ -1,0 +1,226 @@
+"""Shared-resource primitives: counted resources and priority variants.
+
+These follow the request/release event protocol: ``resource.request()``
+returns an event that fires once the requesting process holds a slot.
+Requests support the context-manager protocol so the common idiom is::
+
+    with machine.request() as req:
+        yield req
+        yield env.timeout(service_time)
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any, List, Optional
+
+from .errors import SimulationError
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .environment import Environment
+
+
+class Request(Event):
+    """Event that fires when the resource grants a slot to the requester."""
+
+    __slots__ = ("resource", "proc")
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.proc = resource.env.active_process
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the slot (if held) or withdraw the queued request."""
+        if not self.triggered:
+            self.resource._withdraw(self)
+        elif self.resource._is_user(self):
+            self.resource.release(self)
+
+
+class Release(Event):
+    """Event that fires once the paired request's slot has been returned."""
+
+    __slots__ = ("resource", "request")
+
+    def __init__(self, resource: "Resource", request: Request) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.request = request
+        resource._do_release(self)
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots and a FIFO wait queue."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        self.env = env
+        self._capacity = capacity
+        self.users: List[Request] = []
+        self.queue: List[Request] = []
+
+    # -- public API -----------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        return Release(self, request)
+
+    # -- internals --------------------------------------------------------
+    def _is_user(self, request: Request) -> bool:
+        return request in self.users
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            self.queue.append(request)
+
+    def _withdraw(self, request: Request) -> None:
+        if request in self.queue:
+            self.queue.remove(request)
+
+    def _do_release(self, release: Release) -> None:
+        try:
+            self.users.remove(release.request)
+        except ValueError:
+            raise SimulationError("Cannot release a slot that is not held") from None
+        release.succeed()
+        self._grant_next()
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            nxt = self.queue.pop(0)
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class PriorityRequest(Request):
+    """Request carrying a priority (lower value is served first)."""
+
+    __slots__ = ("priority", "time", "key")
+
+    def __init__(self, resource: "PriorityResource", priority: int = 0) -> None:
+        self.priority = priority
+        self.time = resource.env.now
+        self.key = (priority, self.time)
+        super().__init__(resource)
+
+
+class PriorityResource(Resource):
+    """Resource whose wait queue is ordered by request priority, then FIFO."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._heap: List[tuple] = []
+        self._seq = 0
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        return PriorityRequest(self, priority)
+
+    def _do_request(self, request: Request) -> None:
+        assert isinstance(request, PriorityRequest)
+        if len(self.users) < self._capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            self._seq += 1
+            heapq.heappush(self._heap, (request.key, self._seq, request))
+            self.queue.append(request)
+
+    def _withdraw(self, request: Request) -> None:
+        super()._withdraw(request)
+        self._heap = [item for item in self._heap if item[2] is not request]
+        heapq.heapify(self._heap)
+
+    def _grant_next(self) -> None:
+        while self._heap and len(self.users) < self._capacity:
+            _, _, nxt = heapq.heappop(self._heap)
+            if nxt in self.queue:
+                self.queue.remove(nxt)
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class Container:
+    """A homogeneous bulk resource (e.g. disk space, credits).
+
+    ``put``/``get`` return events that fire once the amount has been
+    deposited/withdrawn.  Gets are served FIFO as material becomes
+    available.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf"),
+                 init: float = 0.0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        if init < 0 or init > capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.env = env
+        self._capacity = capacity
+        self._level = float(init)
+        self._getters: List[tuple] = []  # (amount, event)
+        self._putters: List[tuple] = []
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ValueError("amount must be > 0")
+        event = Event(self.env)
+        self._putters.append((amount, event))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ValueError("amount must be > 0")
+        event = Event(self.env)
+        self._getters.append((amount, event))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                amount, event = self._putters[0]
+                if self._level + amount <= self._capacity:
+                    self._level += amount
+                    event.succeed(amount)
+                    self._putters.pop(0)
+                    progress = True
+            if self._getters:
+                amount, event = self._getters[0]
+                if amount <= self._level:
+                    self._level -= amount
+                    event.succeed(amount)
+                    self._getters.pop(0)
+                    progress = True

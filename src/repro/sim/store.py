@@ -1,0 +1,119 @@
+"""Object stores: FIFO message queues for inter-process communication.
+
+:class:`Store` is the kernel's channel abstraction — the network layer and
+every mailbox in the grid substrate is built on it.  :class:`FilterStore`
+additionally lets getters wait for items matching a predicate, which the
+broker uses for matchmaking mailboxes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .environment import Environment
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._putters.append(self)
+        store._settle()
+
+
+class StoreGet(Event):
+    __slots__ = ("filter", "_cancelled")
+
+    def __init__(self, store: "Store", filter: Optional[Callable[[Any], bool]] = None) -> None:
+        super().__init__(store.env)
+        self.filter = filter
+        self._cancelled = False
+        store._getters.append(self)
+        store._settle()
+
+    def cancel(self) -> None:
+        """Withdraw an unfired get request (used for timeouts on receive)."""
+        if not self.triggered:
+            # The store holds a reference; remove lazily via flag.
+            self._cancelled = True
+
+
+class Store:
+    """FIFO store of Python objects with optional capacity."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        self.env = env
+        self._capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._putters: List[StorePut] = []
+        self._getters: List[StoreGet] = []
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Deposit ``item``; the event fires once there is room."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Withdraw the oldest item; the event fires when one is available."""
+        return StoreGet(self)
+
+    # -- internals --------------------------------------------------------
+    def _match(self, getter: StoreGet) -> bool:
+        """Try to satisfy ``getter`` from current items.  FIFO order."""
+        if self.items:
+            getter.succeed(self.items.popleft())
+            return True
+        return False
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Move queued puts into the store while there is room.
+            while self._putters and len(self.items) < self._capacity:
+                put = self._putters.pop(0)
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # Serve waiting getters.
+            remaining: List[StoreGet] = []
+            for getter in self._getters:
+                if getter._cancelled or getter.triggered:
+                    progress = True
+                    continue
+                if self._match(getter):
+                    progress = True
+                else:
+                    remaining.append(getter)
+            self._getters = remaining
+
+
+class FilterStore(Store):
+    """Store whose getters may demand items satisfying a predicate."""
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:  # type: ignore[override]
+        return StoreGet(self, filter)
+
+    def _match(self, getter: StoreGet) -> bool:
+        if getter.filter is None:
+            return super()._match(getter)
+        for i, item in enumerate(self.items):
+            if getter.filter(item):
+                del self.items[i]
+                getter.succeed(item)
+                return True
+        return False

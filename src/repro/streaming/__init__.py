@@ -1,0 +1,32 @@
+"""Split-execution I/O streaming: Console Agent, Console/Job Shadow, modes."""
+
+from .agent import ConsoleAgent, JobStdio
+from .buffers import StreamBuffer
+from .messages import (
+    ControlKind,
+    ControlMessage,
+    FRAME_OVERHEAD,
+    StreamChunk,
+    StreamName,
+)
+from .sender import ChunkSender, SenderStats
+from .session import InteractiveSession
+from .shadow import ConsoleLine, ConsoleShadow
+from .spool import DiskSpool
+
+__all__ = [
+    "ChunkSender",
+    "ConsoleAgent",
+    "ConsoleLine",
+    "ConsoleShadow",
+    "ControlKind",
+    "ControlMessage",
+    "DiskSpool",
+    "FRAME_OVERHEAD",
+    "InteractiveSession",
+    "JobStdio",
+    "SenderStats",
+    "StreamBuffer",
+    "StreamChunk",
+    "StreamName",
+]

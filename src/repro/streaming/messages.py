@@ -1,0 +1,60 @@
+"""Wire messages of the Grid Console protocol (Console Agent <-> Shadow)."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class StreamName(enum.Enum):
+    STDIN = "stdin"
+    STDOUT = "stdout"
+    STDERR = "stderr"
+
+
+_seq_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class StreamChunk:
+    """A coalesced piece of one stdio stream.
+
+    ``data`` is the logical payload (kept as a string for test
+    observability); ``nbytes`` is the size used for transfer timing, which
+    lets workloads model large payloads without materialising them.
+    """
+
+    stream: StreamName
+    data: str
+    nbytes: int
+    #: True when the chunk ends with an end-of-line (one of the paper's
+    #: three flush triggers, and the input-forwarding trigger).
+    eol: bool
+    #: MPI subjob the chunk belongs to (0 for sequential jobs).
+    subjob: int = 0
+    seq: int = field(default_factory=lambda: next(_seq_counter))
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+
+
+class ControlKind(enum.Enum):
+    HELLO = "hello"       # agent announces itself (subjob index, mode)
+    EOF = "eof"           # stream end (job exited)
+    KILL = "kill"         # shadow orders the agent to kill the job
+    ACK = "ack"           # reliable-mode delivery acknowledgement
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    kind: ControlKind
+    subjob: int = 0
+    info: Optional[str] = None
+    seq: int = field(default_factory=lambda: next(_seq_counter))
+
+
+#: Fixed framing overhead per protocol message on the wire.
+FRAME_OVERHEAD = 48

@@ -1,0 +1,148 @@
+"""Chunk sender: ships flushed chunks over the agent<->shadow connection.
+
+Implements the mode split of §3:
+
+* **fast** — no intermediate file; a chunk that hits a broken network is
+  *lost* (counted, never retried) and the stream carries on;
+* **reliable** — every chunk goes through the :class:`DiskSpool`; on
+  failure the sender retries at ``retry_interval`` for ``max_retries``
+  attempts, then gives up and reports a fatal condition ("after which they
+  will give up and kill the process").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from ..calibration import StreamingCosts
+from ..jdl import StreamingMode
+from ..net import ConnectionEnd, NetworkError
+from ..sim import Environment, RandomStreams, Store
+from .messages import FRAME_OVERHEAD, StreamChunk
+from .spool import DiskSpool
+
+
+@dataclass
+class SenderStats:
+    sent: int = 0
+    bytes_sent: int = 0
+    dropped: int = 0
+    bytes_dropped: int = 0
+    retries: int = 0
+    reconnect_waits: float = 0.0
+
+
+class ChunkSender:
+    """Background process draining an outbox into a connection."""
+
+    def __init__(self, env: Environment, rng: RandomStreams,
+                 costs: StreamingCosts, mode: StreamingMode, outbox: Store,
+                 name: str = "sender",
+                 on_fatal: Optional[Callable[[str], None]] = None) -> None:
+        self.env = env
+        self.rng = rng
+        self.costs = costs
+        self.mode = mode
+        self.outbox = outbox
+        self.name = name
+        self.on_fatal = on_fatal
+        self.stats = SenderStats()
+        self.spool = DiskSpool(env, rng, costs, name=f"{name}/spool") \
+            if mode is StreamingMode.RELIABLE else None
+        self._conn: Optional[ConnectionEnd] = None
+        self._conn_ready = env.event()
+        self._stopped = False
+        self.dead = False
+        self._proc = env.process(self._run(), name=name)
+
+    # -- wiring ---------------------------------------------------------
+    def attach(self, conn: ConnectionEnd) -> None:
+        """Give the sender its (re-)established connection."""
+        self._conn = conn
+        if not self._conn_ready.triggered:
+            self._conn_ready.succeed()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    @property
+    def idle(self) -> bool:
+        """True when everything handed to the sender has been delivered."""
+        spool_empty = self.spool is None or self.spool.empty
+        return len(self.outbox.items) == 0 and spool_empty
+
+    # -- the drain loop ------------------------------------------------------
+    def _run(self) -> Generator:
+        yield self._conn_ready
+        while not self._stopped:
+            chunk = yield self.outbox.get()
+            if chunk is None:  # sentinel for orderly shutdown
+                return
+            assert isinstance(chunk, StreamChunk)
+            if self.mode is StreamingMode.RELIABLE:
+                assert self.spool is not None
+                yield from self.spool.write(chunk)
+                ok = yield from self._send_reliable()
+                if not ok:
+                    return
+            else:
+                yield from self._send_fast(chunk)
+
+    def _wire_size(self, chunk: StreamChunk) -> int:
+        return chunk.nbytes + FRAME_OVERHEAD
+
+    def _send_fast(self, chunk: StreamChunk) -> Generator:
+        assert self._conn is not None
+        # Fast mode ships unbuffered, so each send rides the raw path
+        # jitter that windowed protocols smooth out — §6.2: "our method
+        # exhibits a higher variance" on the wide area.  The extra term is
+        # a half-normal with scale proportional to the path latency, so it
+        # vanishes on the campus LAN.
+        latency = self._conn.network.base_transfer_time(
+            self._conn.local, self._conn.remote, 0)
+        if latency > 0 and self.costs.fast_wan_jitter > 0:
+            burst = abs(self.rng.stream(f"{self.name}/burst").normal(
+                0.0, self.costs.fast_wan_jitter * latency))
+            if burst > 0:
+                yield self.env.timeout(burst)
+        try:
+            yield from self._conn.send(chunk, self._wire_size(chunk))
+            self.stats.sent += 1
+            self.stats.bytes_sent += chunk.nbytes
+        except NetworkError:
+            # §3: "data may be lost in case of network failure".
+            self.stats.dropped += 1
+            self.stats.bytes_dropped += chunk.nbytes
+
+    def _send_reliable(self) -> Generator:
+        """Drain the spool head-first with retry/reconnect semantics."""
+        assert self.spool is not None and self._conn is not None
+        failures = 0
+        while not self.spool.empty:
+            chunk = yield from self.spool.read_head()
+            try:
+                yield from self._conn.send(chunk, self._wire_size(chunk))
+            except NetworkError:
+                failures += 1
+                self.stats.retries += 1
+                if failures >= self.costs.max_retries:
+                    self._fatal(
+                        f"gave up after {failures} retries "
+                        f"({len(self.spool)} chunks stranded)")
+                    return False
+                interval = self.rng.jitter(f"{self.name}/retry",
+                                           self.costs.retry_interval, 0.05)
+                self.stats.reconnect_waits += interval
+                yield self.env.timeout(interval)
+                continue
+            failures = 0
+            self.spool.commit_head()
+            self.stats.sent += 1
+            self.stats.bytes_sent += chunk.nbytes
+        return True
+
+    def _fatal(self, reason: str) -> None:
+        self.dead = True
+        if self.on_fatal is not None:
+            self.on_fatal(f"{self.name}: {reason}")

@@ -1,0 +1,134 @@
+"""Interactive session wiring: shadow on the UI machine + one Console Agent
+per subjob, plugged into worker-node executions.
+
+This is the "Grid Console" of §4 as one object: create a session, hand its
+``setup`` callbacks to :meth:`WorkerNode.execute` (or to the broker's
+submission path), and interact through ``type_line`` / ``console``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional
+
+from ..calibration import StreamingCosts
+from ..jdl import StreamingMode
+from ..net import Network
+from ..sim import Environment, Process, RandomStreams
+from .agent import ConsoleAgent
+from .shadow import ConsoleShadow
+
+
+class InteractiveSession:
+    """A Grid Console: one shadow, ``n_subjobs`` agents."""
+
+    def __init__(self, env: Environment, network: Network, rng: RandomStreams,
+                 costs: StreamingCosts, ui_host: str, mode: StreamingMode,
+                 n_subjobs: int = 1, port: Optional[int] = None,
+                 tunnel_endpoint: Optional[object] = None,
+                 relay_host: Optional[str] = None,
+                 tunnel_key: Optional[str] = None) -> None:
+        self.env = env
+        self.network = network
+        self.rng = rng
+        self.costs = costs
+        self.ui_host = ui_host
+        self.mode = mode
+        self.n_subjobs = n_subjobs
+        self.relay_host = relay_host
+        self.tunnel_key = tunnel_key
+        if (tunnel_endpoint is None) != (relay_host is None):
+            raise ValueError("tunnel mode needs both tunnel_endpoint and "
+                             "relay_host (see TunnelEndpoint.register)")
+        self.shadow = ConsoleShadow(env, network, rng, costs, ui_host, mode,
+                                    expected_agents=n_subjobs, port=port,
+                                    endpoint=tunnel_endpoint)
+        self.agents: Dict[int, ConsoleAgent] = {}
+        self._fatal_reasons: List[str] = []
+        self._job_procs: List[Process] = []
+
+    # -- wiring ---------------------------------------------------------
+    def make_setup(self, node_host: str, subjob: int = 0) -> Callable:
+        """Build the ``setup`` callback for :meth:`WorkerNode.execute`.
+
+        The callback creates the Console Agent on the node, installs its
+        stdio facade into the machine context, and starts the connect-back
+        to the shadow as a background process (as the real CA does from its
+        library constructor).
+        """
+        agent = ConsoleAgent(self.env, self.network, self.rng, self.costs,
+                             node_host, self.mode, subjob=subjob,
+                             on_fatal=self._on_fatal)
+        self.agents[subjob] = agent
+
+        def setup(ctx) -> None:
+            ctx.stdio = agent.stdio
+            ctx.params["subjob"] = subjob
+            if self.relay_host is not None:
+                starter = agent.start_via_relay(self.relay_host,
+                                                self.tunnel_key or "session")
+            else:
+                starter = agent.start(self.ui_host, self.shadow.port)
+            self.env.process(starter, name=f"{agent.name}/connect")
+
+            def enforcer():
+                # §1/§4 on-line output control: when the shadow orders a
+                # KILL (or the retry budget dies), the CA terminates the
+                # trapped process.
+                reason = yield agent.killed
+                proc = ctx.process
+                if proc is not None and proc.is_alive:
+                    try:
+                        proc.interrupt(f"killed by console: {reason}")
+                    except Exception:  # noqa: BLE001 - already ending
+                        pass
+
+            self.env.process(enforcer(), name=f"{agent.name}/enforcer")
+
+        return setup
+
+    def watch(self, proc: Process) -> None:
+        """Register a job process to be killed on fatal streaming errors."""
+        self._job_procs.append(proc)
+
+    # -- user-facing API ---------------------------------------------------
+    @property
+    def console(self):
+        return self.shadow.console
+
+    @property
+    def port(self) -> int:
+        return self.shadow.port
+
+    def type_line(self, data: str, nbytes: Optional[int] = None) -> Generator:
+        yield from self.shadow.type_line(data, nbytes)
+
+    def read_line(self) -> Generator:
+        line = yield self.shadow.console.get()
+        return line
+
+    def wait_first_output(self) -> Generator:
+        t = yield self.shadow.first_output
+        return t
+
+    def kill_job(self, reason: str = "user abort") -> Generator:
+        yield from self.shadow.kill_job(reason)
+
+    def close(self) -> None:
+        for agent in self.agents.values():
+            agent.close()
+        self.shadow.close()
+
+    @property
+    def fatal_reasons(self) -> List[str]:
+        return list(self._fatal_reasons)
+
+    # -- internals ---------------------------------------------------------
+    def _on_fatal(self, reason: str) -> None:
+        """Reliable mode exhausted its retries: kill the job processes."""
+        self._fatal_reasons.append(reason)
+        for proc in self._job_procs:
+            if proc.is_alive:
+                try:
+                    proc.interrupt(f"streaming fatal: {reason}")
+                except Exception:  # noqa: BLE001 - already finishing
+                    continue

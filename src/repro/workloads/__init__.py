@@ -1,0 +1,33 @@
+"""Workload generators and the paper's measurement applications."""
+
+from .apps import (
+    cpu_bound_app,
+    immediate_output_app,
+    interactive_console_app,
+    progress_app,
+    steerable_simulation,
+)
+from .loopapp import LoopSample, cpu_hog, make_loop_app
+from .mixes import JobArrival, MixConfig, generate_mix, replay
+from .pingpong import PAPER_SEQUENCES, PAPER_SIZES, run_sequences
+from .traces import load_trace, save_trace
+
+__all__ = [
+    "JobArrival",
+    "LoopSample",
+    "MixConfig",
+    "PAPER_SEQUENCES",
+    "PAPER_SIZES",
+    "cpu_bound_app",
+    "cpu_hog",
+    "generate_mix",
+    "immediate_output_app",
+    "interactive_console_app",
+    "load_trace",
+    "save_trace",
+    "make_loop_app",
+    "progress_app",
+    "replay",
+    "run_sequences",
+    "steerable_simulation",
+]

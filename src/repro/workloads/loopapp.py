@@ -1,0 +1,58 @@
+"""The Fig. 8 measurement application.
+
+§6.3: "we wrote an interactive job which iterates 1,000 times.  At each
+iteration, the application performs an I/O operation followed by a CPU
+burst.  We measured the time elapsed during each of these operations."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List
+
+from ..calibration import LoopAppProfile
+
+
+@dataclass
+class LoopSample:
+    """One iteration's measured phase times."""
+
+    iteration: int
+    io_elapsed: float
+    cpu_elapsed: float
+
+
+def make_loop_app(profile: LoopAppProfile, label: str = "loopapp"):
+    """Build the loop behavior; returns the per-iteration samples."""
+
+    def behavior(ctx) -> Generator:
+        samples: List[LoopSample] = []
+        for i in range(profile.iterations):
+            io_work = ctx.rng.jitter(f"{label}/io", profile.io_time,
+                                     profile.io_rel_std)
+            t0 = ctx.now
+            yield from ctx.io(io_work)
+            t1 = ctx.now
+            cpu_work = ctx.rng.jitter(f"{label}/cpu", profile.cpu_burst,
+                                      profile.cpu_rel_std)
+            yield from ctx.cpu(cpu_work)
+            samples.append(LoopSample(i, t1 - t0, ctx.now - t1))
+        return samples
+
+    return behavior
+
+
+def cpu_hog(total_cpu: float = 1e6):
+    """The co-located batch job of §6.3: a pure CPU burner."""
+
+    def behavior(ctx) -> Generator:
+        done = 0.0
+        # Chunked so tenancy changes take effect at realistic granularity.
+        step = 5.0
+        while done < total_cpu:
+            work = min(step, total_cpu - done)
+            yield from ctx.cpu(work)
+            done += work
+        return done
+
+    return behavior

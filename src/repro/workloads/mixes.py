@@ -1,0 +1,141 @@
+"""Synthetic job-mix generators for integration tests and fair-share runs.
+
+The paper's testbed served a mix of long batch jobs and short interactive
+sessions from many users; these generators produce that mix with seeded
+Poisson arrivals, so scheduler-level scenarios (saturation, priority
+penalties, agent reuse) are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from ..jdl import JobDescription, JobCategory, JobFlavor, MachineAccess, StreamingMode
+from ..sim import RandomStreams
+
+
+@dataclass(frozen=True)
+class JobArrival:
+    """One generated submission."""
+
+    at: float
+    job: JobDescription
+    #: Suggested runtime for the behavior attached to this job.
+    runtime: float
+
+
+@dataclass
+class MixConfig:
+    """Shape of a generated workload."""
+
+    users: Sequence[str] = ("alice", "bob", "carol", "dave")
+    horizon: float = 3600.0
+    #: Mean inter-arrival of batch jobs (Poisson).
+    batch_interarrival: float = 300.0
+    #: Mean inter-arrival of interactive jobs.
+    interactive_interarrival: float = 240.0
+    #: Fraction of interactive jobs asking for shared access.
+    shared_fraction: float = 0.7
+    batch_runtime_mean: float = 1800.0
+    interactive_runtime_mean: float = 120.0
+    performance_losses: Sequence[int] = (10, 25)
+    parallel_fraction: float = 0.0
+    max_nodes: int = 4
+
+
+def generate_mix(rng: RandomStreams, config: Optional[MixConfig] = None,
+                 stream: str = "mix") -> List[JobArrival]:
+    """Deterministically generate a job mix, sorted by arrival time."""
+    config = config or MixConfig()
+    arrivals: List[JobArrival] = []
+
+    def draw_user(tag: str, i: int) -> str:
+        return rng.choice(f"{stream}/{tag}/user/{i}", list(config.users))
+
+    # Batch stream.
+    t, i = 0.0, 0
+    while True:
+        t += rng.exponential(f"{stream}/batch/gap", config.batch_interarrival)
+        if t >= config.horizon:
+            break
+        runtime = max(rng.exponential(f"{stream}/batch/run",
+                                      config.batch_runtime_mean), 60.0)
+        job = JobDescription(
+            executable="batch_sim",
+            owner=draw_user("batch", i),
+            category=JobCategory.BATCH,
+            estimated_runtime=runtime,
+            # Deterministic id: job ids key RNG streams downstream, so the
+            # same mix must replay identically run after run.
+            job_id=f"{stream}-batch-{i:05d}",
+        )
+        arrivals.append(JobArrival(t, job, runtime))
+        i += 1
+
+    # Interactive stream.
+    t, i = 0.0, 0
+    while True:
+        t += rng.exponential(f"{stream}/int/gap",
+                             config.interactive_interarrival)
+        if t >= config.horizon:
+            break
+        runtime = max(rng.exponential(f"{stream}/int/run",
+                                      config.interactive_runtime_mean), 10.0)
+        shared = rng.uniform(f"{stream}/int/shared/{i}", 0, 1) \
+            < config.shared_fraction
+        parallel = rng.uniform(f"{stream}/int/par/{i}", 0, 1) \
+            < config.parallel_fraction
+        nodes = 1
+        flavor = JobFlavor.SEQUENTIAL
+        if parallel and config.max_nodes > 1:
+            nodes = int(rng.uniform(f"{stream}/int/nodes/{i}", 2,
+                                    config.max_nodes + 1))
+            flavor = JobFlavor.MPICH_G2
+        pl = rng.choice(f"{stream}/int/pl/{i}",
+                        list(config.performance_losses)) if shared else 0
+        job = JobDescription(
+            executable="interactive_sim",
+            owner=draw_user("int", i),
+            category=JobCategory.INTERACTIVE,
+            flavor=flavor,
+            node_number=nodes,
+            machine_access=MachineAccess.SHARED if shared
+            else MachineAccess.EXCLUSIVE,
+            performance_loss=pl,
+            streaming_mode=StreamingMode.FAST,
+            estimated_runtime=runtime,
+            job_id=f"{stream}-int-{i:05d}",
+        )
+        arrivals.append(JobArrival(t, job, runtime))
+        i += 1
+
+    arrivals.sort(key=lambda a: a.at)
+    return arrivals
+
+
+def replay(env, broker, arrivals: List[JobArrival], behavior_for,
+           ui_host: str = "ui"):
+    """Submit a generated mix against a broker as a simulation process.
+
+    ``behavior_for(arrival, rank) -> Behavior`` builds each job's payload.
+    Returns the list of SubmittedJob records.
+    """
+    submitted = []
+
+    def feeder():
+        t_prev = 0.0
+        for arrival in arrivals:
+            if arrival.at > t_prev:
+                yield env.timeout(arrival.at - t_prev)
+            t_prev = arrival.at
+            record = broker.submit(
+                arrival.job,
+                lambda rank, a=arrival: behavior_for(a, rank),
+                ui_host=ui_host,
+                attach_console=arrival.job.is_interactive)
+            submitted.append(record)
+        return submitted
+
+    proc = env.process(feeder(), name="mix/feeder")
+    return submitted, proc

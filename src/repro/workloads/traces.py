@@ -1,0 +1,70 @@
+"""Workload trace files: save/load job-arrival streams as JSON.
+
+A generated mix can be frozen to disk and replayed later (or edited by
+hand), which turns scheduler scenarios into versionable artifacts — the
+moral equivalent of the batch-system logs grid papers of the era replayed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from ..jdl import JobDescription
+from .mixes import JobArrival
+
+TRACE_VERSION = 1
+
+
+def arrival_to_record(arrival: JobArrival) -> dict:
+    job = arrival.job
+    return {
+        "at": arrival.at,
+        "runtime": arrival.runtime,
+        "job": {
+            "executable": job.executable,
+            "arguments": list(job.arguments),
+            "owner": job.owner,
+            "jobtype": [job.category.value, job.flavor.value],
+            "nodenumber": job.node_number,
+            "streamingmode": job.streaming_mode.value,
+            "machineaccess": job.machine_access.value,
+            "performanceloss": job.performance_loss,
+            "job_id": job.job_id,
+        },
+    }
+
+
+def record_to_arrival(record: dict) -> JobArrival:
+    payload = dict(record["job"])
+    job_id = payload.pop("job_id", None)
+    owner = payload.pop("owner", "anonymous")
+    job = JobDescription.from_attributes(payload, owner=owner)
+    if job_id:
+        job.job_id = job_id
+    return JobArrival(at=float(record["at"]), job=job,
+                      runtime=float(record["runtime"]))
+
+
+def save_trace(arrivals: List[JobArrival], path: str,
+               description: str = "") -> None:
+    """Write a trace file (JSON, versioned envelope)."""
+    payload = {
+        "version": TRACE_VERSION,
+        "description": description,
+        "jobs": [arrival_to_record(a) for a in arrivals],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+
+
+def load_trace(path: str) -> List[JobArrival]:
+    """Read a trace file back into replayable arrivals."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    version = payload.get("version")
+    if version != TRACE_VERSION:
+        raise ValueError(f"unsupported trace version {version!r}")
+    arrivals = [record_to_arrival(r) for r in payload.get("jobs", [])]
+    arrivals.sort(key=lambda a: a.at)
+    return arrivals

@@ -1,0 +1,24 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Environment, RandomStreams
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def rng() -> RandomStreams:
+    return RandomStreams(1234)
+
+
+def run_proc(env: Environment, generator, name=None):
+    """Start a process and run the simulation until it finishes."""
+    proc = env.process(generator, name=name)
+    env.run(until=proc)
+    return proc.value

@@ -1,0 +1,98 @@
+"""Tests for the calibration bundle (the single source of every tunable)."""
+
+import dataclasses
+
+import pytest
+
+from repro.calibration import (
+    CAMPUS,
+    Calibration,
+    DEFAULT_CALIBRATION,
+    LoopAppProfile,
+    NetworkProfile,
+    WAN,
+)
+
+
+class TestProfiles:
+    def test_campus_is_fast_lan(self):
+        assert CAMPUS.latency < 0.001
+        assert CAMPUS.bandwidth == pytest.approx(100e6 / 8)
+        assert CAMPUS.rtt == pytest.approx(2 * CAMPUS.latency)
+
+    def test_wan_slower_than_campus(self):
+        assert WAN.latency > 5 * CAMPUS.latency
+        assert WAN.bandwidth < CAMPUS.bandwidth
+        assert WAN.jitter > CAMPUS.jitter
+
+    def test_profiles_registered(self):
+        assert DEFAULT_CALIBRATION.profiles["campus"] is CAMPUS
+        assert DEFAULT_CALIBRATION.profiles["wan"] is WAN
+
+
+class TestImmutability:
+    def test_profiles_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            CAMPUS.latency = 1.0  # type: ignore[misc]
+
+    def test_calibration_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_CALIBRATION.middleware = None  # type: ignore[misc]
+
+
+class TestWithHelpers:
+    def test_with_streaming_returns_new_bundle(self):
+        updated = DEFAULT_CALIBRATION.with_streaming(buffer_size=1024)
+        assert updated is not DEFAULT_CALIBRATION
+        assert updated.streaming.buffer_size == 1024
+        assert DEFAULT_CALIBRATION.streaming.buffer_size == 65536
+        # Untouched sections are shared, not copied.
+        assert updated.middleware is DEFAULT_CALIBRATION.middleware
+
+    def test_with_scheduler(self):
+        updated = DEFAULT_CALIBRATION.with_scheduler(quantum=0.01)
+        assert updated.scheduler.quantum == 0.01
+
+    def test_with_fairshare(self):
+        updated = DEFAULT_CALIBRATION.with_fairshare(half_life=60.0)
+        assert updated.fairshare.half_life == 60.0
+
+    def test_with_middleware(self):
+        updated = DEFAULT_CALIBRATION.with_middleware(gram_overhead=1.0)
+        assert updated.middleware.gram_overhead == 1.0
+
+
+class TestPaperAnchors:
+    """The constants the paper pins directly must stay pinned."""
+
+    def test_loop_app_matches_section_6_3(self):
+        profile = LoopAppProfile()
+        assert profile.iterations == 1000
+        assert profile.cpu_burst == pytest.approx(0.921)
+        assert profile.io_time == pytest.approx(0.00606)
+
+    def test_fig8_quantum_flooring_anchor(self):
+        # floor(0.921 * 0.25 / quantum) must be 7 quanta so PL=25 lands at
+        # the paper's 1.132 s (see SchedulerProfile docstring).
+        import math
+
+        scheduler = DEFAULT_CALIBRATION.scheduler
+        quanta = math.floor(0.921 * 0.25 / scheduler.quantum)
+        elapsed = 0.921 + quanta * (scheduler.quantum
+                                    + scheduler.context_switch)
+        assert elapsed == pytest.approx(1.132, abs=0.01)
+
+    def test_agent_buffer_larger_than_ssh_chunk(self):
+        # The Fig. 6 10 KB crossover depends on this ordering.
+        assert DEFAULT_CALIBRATION.streaming.buffer_size \
+            > 2 * DEFAULT_CALIBRATION.ssh.chunk
+
+    def test_interactive_dispatch_cheaper_than_globus_path(self):
+        middleware = DEFAULT_CALIBRATION.middleware
+        direct = middleware.agent_dispatch_rpc + middleware.agent_slot_setup
+        globus = (middleware.gsi_handshake + middleware.gram_overhead
+                  + middleware.local_queue_dispatch)
+        assert direct < 0.6 * globus  # Table I: >2x faster
+
+    def test_mds_query_near_half_second(self):
+        assert 0.3 <= DEFAULT_CALIBRATION.middleware.mds_query <= 0.8

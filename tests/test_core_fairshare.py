@@ -1,0 +1,177 @@
+"""Unit tests for the fair-share priority algorithm (§5.1, eq. 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration import FairShareConfig
+from repro.core import (
+    FairShareAccounting,
+    af_batch,
+    af_displaced_batch,
+    af_interactive,
+)
+from repro.sim import Environment
+
+
+def make_accounting(env=None, total_cpus=10, **config_kwargs):
+    env = env or Environment()
+    config = FairShareConfig(**config_kwargs)
+    return FairShareAccounting(env, config, total_cpus=total_cpus,
+                               autostart=False), env
+
+
+class TestApplicationFactors:
+    def test_batch_factor_is_one(self):
+        assert af_batch() == 1.0
+
+    def test_interactive_worsens_faster_than_batch(self):
+        # §5.1: "Interactive jobs worsen the priority faster".
+        for pl in (0, 10, 25, 50):
+            assert af_interactive(pl) > af_batch()
+
+    def test_interactive_factor_decreases_with_pl(self):
+        assert af_interactive(0) == 2.0
+        assert af_interactive(50) == 1.5
+        assert af_interactive(0) > af_interactive(25) > af_interactive(50)
+
+    def test_literal_paper_variant(self):
+        assert af_interactive(10, literal=True) == pytest.approx(0.2)
+        assert af_interactive(50, literal=True) == pytest.approx(1.0)
+
+    def test_displaced_batch_is_cheapest(self):
+        # §5.1: the displaced batch job's owner "will be worsened to a
+        # lesser extent than in previous cases".
+        for pl in (5, 10, 25, 50):
+            assert af_displaced_batch(pl) < af_batch()
+            assert af_displaced_batch(pl) < af_interactive(pl)
+
+
+class TestEquationOne:
+    def test_beta_from_half_life(self):
+        accounting, _ = make_accounting(half_life=3600.0,
+                                        update_interval=60.0)
+        assert accounting.beta == pytest.approx(0.5 ** (60.0 / 3600.0))
+
+    def test_single_step_formula(self):
+        accounting, _ = make_accounting(total_cpus=10)
+        accounting.job_started("u", "j", cpus=5, af=1.0)
+        accounting.step()
+        beta = accounting.beta
+        expected = beta * 0.0 + (1 - beta) * (5 / 10) * 1.0
+        assert accounting.priority("u") == pytest.approx(expected)
+
+    def test_af_scales_priority_growth(self):
+        acc_batch, _ = make_accounting()
+        acc_batch.job_started("u", "j", cpus=5, af=af_batch())
+        acc_inter, _ = make_accounting()
+        acc_inter.job_started("u", "j", cpus=5, af=af_interactive(10))
+        for _ in range(10):
+            acc_batch.step()
+            acc_inter.step()
+        assert acc_inter.priority("u") > acc_batch.priority("u")
+
+    def test_priority_converges_to_weighted_usage(self):
+        accounting, _ = make_accounting(total_cpus=10)
+        accounting.job_started("u", "j", cpus=10, af=1.0)
+        for _ in range(2000):
+            accounting.step()
+        assert accounting.priority("u") == pytest.approx(1.0, rel=1e-3)
+
+    def test_idle_user_decays_to_initial(self):
+        accounting, _ = make_accounting()
+        accounting.job_started("u", "j", cpus=10, af=1.0)
+        for _ in range(20):
+            accounting.step()
+        peak = accounting.priority("u")
+        accounting.job_finished("u", "j")
+        for _ in range(2000):
+            accounting.step()
+        assert accounting.priority("u") < peak * 1e-6
+
+    def test_untouched_users_skipped(self):
+        accounting, _ = make_accounting()
+        accounting.account("idle_user")
+        accounting.step()
+        assert accounting.priority("idle_user") == 0.0
+
+    def test_reweight_changes_growth(self):
+        accounting, _ = make_accounting()
+        accounting.job_started("u", "j", cpus=10, af=af_batch())
+        accounting.step()
+        p1 = accounting.priority("u")
+        accounting.reweight_job("u", "j", af_displaced_batch(10))
+        for _ in range(500):
+            accounting.step()
+        # With a_f = 0.1 the steady state is 0.1, far below batch's 1.0.
+        assert accounting.priority("u") == pytest.approx(0.1, rel=1e-2)
+
+    def test_update_loop_runs_on_schedule(self):
+        env = Environment()
+        config = FairShareConfig(update_interval=60.0)
+        accounting = FairShareAccounting(env, config, total_cpus=10)
+        accounting.job_started("u", "j", cpus=10, af=1.0)
+        env.run(until=61)
+        assert accounting.priority("u") > 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(cpus=st.integers(1, 10), steps=st.integers(1, 50))
+    def test_priority_bounded_by_weighted_usage(self, cpus, steps):
+        accounting, _ = make_accounting(total_cpus=10)
+        accounting.job_started("u", "j", cpus=cpus, af=1.0)
+        for _ in range(steps):
+            accounting.step()
+        assert 0.0 <= accounting.priority("u") <= cpus / 10 + 1e-12
+
+
+class TestAdmission:
+    def test_everyone_admitted_when_not_scarce(self):
+        accounting, _ = make_accounting()
+        accounting.job_started("hog", "j", cpus=10, af=2.0)
+        for _ in range(50):
+            accounting.step()
+        assert accounting.admit("hog", scarce=False)
+
+    def test_worst_user_rejected_under_scarcity(self):
+        accounting, _ = make_accounting(scarcity_margin=0.01)
+        accounting.job_started("hog", "j", cpus=10, af=2.0)
+        accounting.account("modest")
+        for _ in range(100):
+            accounting.step()
+        assert not accounting.admit("hog", scarce=True)
+        assert accounting.admit("modest", scarce=True)
+
+    def test_sole_user_always_admitted(self):
+        accounting, _ = make_accounting(scarcity_margin=0.01)
+        accounting.job_started("only", "j", cpus=10, af=2.0)
+        for _ in range(100):
+            accounting.step()
+        assert accounting.admit("only", scarce=True)
+
+    def test_margin_tolerates_similar_users(self):
+        accounting, _ = make_accounting(scarcity_margin=10.0)
+        accounting.job_started("a", "j1", cpus=5, af=1.0)
+        accounting.job_started("b", "j2", cpus=5, af=1.0)
+        for _ in range(20):
+            accounting.step()
+        assert accounting.admit("a", scarce=True)
+        assert accounting.admit("b", scarce=True)
+
+    def test_ordering_key(self):
+        accounting, _ = make_accounting()
+        accounting.job_started("busy", "j", cpus=10, af=2.0)
+        for _ in range(10):
+            accounting.step()
+        assert accounting.ordering_key("busy") > accounting.ordering_key("new")
+
+
+class TestValidation:
+    def test_total_cpus_positive(self):
+        with pytest.raises(ValueError):
+            FairShareAccounting(Environment(), FairShareConfig(),
+                                total_cpus=0, autostart=False)
+
+    def test_finish_unknown_job_is_noop(self):
+        accounting, _ = make_accounting()
+        accounting.job_finished("u", "never-started")
+        assert accounting.priority("u") == 0.0

@@ -1,0 +1,192 @@
+"""Unit tests for matchmaking, leases, and the selection pipeline."""
+
+import pytest
+
+from repro.core import Candidate, LeaseTable, Matchmaker, ResourceSelector
+from repro.calibration import DEFAULT_CALIBRATION
+from repro.grid import europe_testbed
+from repro.grid.mds import SiteAdvert
+from repro.jdl import JobDescription
+from repro.sim import Environment, RandomStreams
+
+
+def advert(site, **attrs):
+    base = {"SiteName": site, "FreeCPUs": 2, "TotalCPUs": 4,
+            "QueueLength": 0, "OpSys": "Linux"}
+    base.update(attrs)
+    return SiteAdvert(site, f"gk.{site}", base, published_at=0.0)
+
+
+class TestMatchmaker:
+    def test_requirements_filter(self):
+        job = JobDescription.from_attributes(
+            {"executable": "x", "requirements": "other.FreeCPUs >= 2"})
+        mm = Matchmaker(RandomStreams(1))
+        candidates = mm.filter_candidates(job, [
+            advert("rich", FreeCPUs=4),
+            advert("poor", FreeCPUs=1),
+        ])
+        assert [c.site for c in candidates] == ["rich"]
+
+    def test_no_requirements_matches_all(self):
+        job = JobDescription.from_attributes({"executable": "x"})
+        mm = Matchmaker(RandomStreams(1))
+        assert len(mm.filter_candidates(job, [advert("a"), advert("b")])) == 2
+
+    def test_rank_orders_descending(self):
+        job = JobDescription.from_attributes(
+            {"executable": "x", "rank": "other.FreeCPUs"})
+        mm = Matchmaker(RandomStreams(1))
+        candidates = mm.filter_candidates(job, [
+            advert("small", FreeCPUs=1),
+            advert("big", FreeCPUs=8),
+            advert("mid", FreeCPUs=4),
+        ])
+        ordered = mm.order(job, candidates)
+        assert [c.site for c in ordered] == ["big", "mid", "small"]
+
+    def test_randomized_tie_break_varies_with_job(self):
+        # §3: "Randomized selection... used to generate different answers
+        # when there are multiple resource choices."
+        mm = Matchmaker(RandomStreams(7))
+        adverts = [advert(f"s{i}") for i in range(10)]
+        picks = set()
+        for _ in range(20):
+            job = JobDescription.from_attributes({"executable": "x"})
+            candidates = mm.filter_candidates(job, adverts)
+            picks.add(mm.pick(job, candidates).site)
+        assert len(picks) > 1
+
+    def test_tie_break_deterministic_per_seed(self):
+        adverts = [advert(f"s{i}") for i in range(10)]
+
+        def pick_with_seed(seed):
+            mm = Matchmaker(RandomStreams(seed))
+            job = JobDescription.from_attributes({"executable": "x"},
+                                                 owner="u")
+            job.job_id = "fixed-id"
+            return mm.pick(job, mm.filter_candidates(job, adverts)).site
+
+        assert pick_with_seed(5) == pick_with_seed(5)
+
+    def test_exclude_list(self):
+        mm = Matchmaker(RandomStreams(1))
+        job = JobDescription.from_attributes({"executable": "x"})
+        candidates = mm.filter_candidates(job, [advert("a"), advert("b")])
+        ordered = mm.order(job, candidates, exclude=["a"])
+        assert [c.site for c in ordered] == ["b"]
+
+    def test_pick_empty_returns_none(self):
+        mm = Matchmaker(RandomStreams(1))
+        job = JobDescription.from_attributes({"executable": "x"})
+        assert mm.pick(job, []) is None
+
+    def test_candidate_accessors(self):
+        c = Candidate("s", "gk.s", {"FreeCPUs": 3, "QueueLength": 7}, 1.0)
+        assert c.free_cpus == 3
+        assert c.queue_length == 7
+
+
+class TestLeaseTable:
+    def test_reserve_and_availability(self, env):
+        leases = LeaseTable(env, duration=30.0)
+        assert leases.available("s", advertised_free=2, need=2)
+        leases.acquire("s", "job1", cpus=1)
+        assert leases.available("s", advertised_free=2, need=1)
+        assert not leases.available("s", advertised_free=2, need=2)
+
+    def test_lease_expires(self, env):
+        leases = LeaseTable(env, duration=10.0)
+        leases.acquire("s", "job1", cpus=2)
+        assert leases.reserved_cpus("s") == 2
+        env.run(until=11.0)
+        assert leases.reserved_cpus("s") == 0
+
+    def test_early_release(self, env):
+        leases = LeaseTable(env, duration=100.0)
+        lease = leases.acquire("s", "job1")
+        leases.release(lease)
+        assert leases.reserved_cpus("s") == 0
+
+    def test_release_twice_is_noop(self, env):
+        leases = LeaseTable(env, duration=100.0)
+        lease = leases.acquire("s", "job1")
+        leases.release(lease)
+        leases.release(lease)
+
+    def test_active_leases_listing(self, env):
+        leases = LeaseTable(env, duration=10.0)
+        leases.acquire("a", "j1")
+        leases.acquire("b", "j2")
+        assert len(leases.active_leases()) == 2
+
+    def test_duration_positive(self, env):
+        with pytest.raises(ValueError):
+            LeaseTable(env, duration=0)
+
+
+class TestResourceSelector:
+    def test_discovery_and_selection_pipeline(self):
+        tb = europe_testbed(seed=50, n_sites=6)
+        tb.publish_all_now()
+        env = tb.env
+        selector = ResourceSelector(env, tb.network, tb.rng,
+                                    DEFAULT_CALIBRATION.middleware, "broker")
+        job = JobDescription.from_attributes({"executable": "x"})
+
+        def driver():
+            adverts, discovery_time = yield from selector.discover()
+            outcome = yield from selector.select(job, adverts)
+            return (len(adverts), discovery_time, outcome)
+
+        p = env.process(driver())
+        env.run(until=p)
+        n, discovery_time, outcome = p.value
+        assert n == 6
+        assert discovery_time > 0.2
+        assert outcome.sites_refreshed == 6
+        assert len(outcome.candidates) == 6
+        assert outcome.selection_time > 0.5
+
+    def test_unreachable_sites_dropped(self):
+        tb = europe_testbed(seed=51, n_sites=4)
+        tb.publish_all_now()
+        env = tb.env
+        # Take one site's uplink down for a long time.
+        victim = list(tb.sites.values())[0]
+        tb.network.inject_outage("core", victim.gatekeeper_host, 0.0, 1e6)
+        selector = ResourceSelector(env, tb.network, tb.rng,
+                                    DEFAULT_CALIBRATION.middleware, "broker")
+        job = JobDescription.from_attributes({"executable": "x"})
+
+        def driver():
+            adverts, _ = yield from selector.discover()
+            outcome = yield from selector.select(job, adverts)
+            return outcome
+
+        p = env.process(driver())
+        env.run(until=p)
+        outcome = p.value
+        assert outcome.sites_refreshed == 3
+        assert victim.name not in [c.site for c in outcome.candidates]
+
+    def test_requirements_shrink_refresh_set(self):
+        tb = europe_testbed(seed=52, n_sites=5)
+        tb.publish_all_now()
+        env = tb.env
+        selector = ResourceSelector(env, tb.network, tb.rng,
+                                    DEFAULT_CALIBRATION.middleware, "broker")
+        target = list(tb.sites)[2]
+        job = JobDescription.from_attributes(
+            {"executable": "x",
+             "requirements": f'other.SiteName == "{target}"'})
+
+        def driver():
+            adverts, _ = yield from selector.discover()
+            outcome = yield from selector.select(job, adverts)
+            return outcome
+
+        p = env.process(driver())
+        env.run(until=p)
+        assert p.value.sites_refreshed == 1
+        assert p.value.candidates[0].site == target

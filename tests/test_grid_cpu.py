@@ -1,0 +1,156 @@
+"""Unit tests for the worker-node CPU sharing model (the Fig. 8 substrate)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration import SchedulerProfile
+from repro.grid import WorkerCpu
+from repro.sim import Environment, RandomStreams
+
+
+@pytest.fixture
+def cpu(env, rng):
+    return WorkerCpu(env, rng, SchedulerProfile(), name="wn0")
+
+
+class TestTenancy:
+    def test_attach_detach(self, cpu):
+        cpu.attach("job", interactive=True)
+        assert cpu.interactive_count == 1
+        cpu.detach("job")
+        assert cpu.interactive_count == 0
+
+    def test_duplicate_attach_rejected(self, cpu):
+        cpu.attach("job", interactive=False)
+        with pytest.raises(ValueError):
+            cpu.attach("job", interactive=False)
+
+    def test_daemon_invisible_to_counts(self, cpu):
+        cpu.attach("agent", interactive=False, daemon=True)
+        assert cpu.batch_count == 0
+        assert cpu.interactive_count == 0
+
+
+class TestInteractiveBursts:
+    def test_alone_runs_at_full_speed(self, cpu):
+        t = cpu.attach("i", interactive=True, performance_loss=25)
+        assert cpu.burst_elapsed(t, 1.0) == 1.0
+
+    def test_daemon_does_not_slow_interactive(self, cpu):
+        cpu.attach("agent", interactive=False, daemon=True)
+        t = cpu.attach("i", interactive=True, performance_loss=25)
+        assert cpu.burst_elapsed(t, 1.0) == 1.0
+
+    def test_quantum_flooring_formula(self, cpu):
+        profile = cpu.profile
+        cpu.attach("b", interactive=False)
+        t = cpu.attach("i", interactive=True, performance_loss=25)
+        work = 0.921
+        quanta = math.floor(work * 0.25 / profile.quantum)
+        expected = work + quanta * (profile.quantum + profile.context_switch)
+        assert cpu.burst_elapsed(t, work) == pytest.approx(expected)
+
+    def test_pl_zero_batch_gets_nothing(self, cpu):
+        cpu.attach("b", interactive=False)
+        t = cpu.attach("i", interactive=True, performance_loss=0)
+        assert cpu.burst_elapsed(t, 2.0) == 2.0
+
+    def test_two_interactive_tenants_share_equally(self, cpu):
+        t1 = cpu.attach("i1", interactive=True)
+        cpu.attach("i2", interactive=True)
+        assert cpu.burst_elapsed(t1, 1.0) == 2.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(pl=st.integers(0, 100).filter(lambda v: v % 5 == 0),
+           work=st.floats(0.1, 5.0))
+    def test_measured_loss_never_exceeds_nominal(self, pl, work):
+        env = Environment()
+        cpu = WorkerCpu(env, RandomStreams(1), SchedulerProfile())
+        cpu.attach("b", interactive=False)
+        t = cpu.attach("i", interactive=True, performance_loss=pl)
+        elapsed = cpu.burst_elapsed(t, work)
+        nominal = work * (1 + pl / 100.0)
+        # context-switch costs add a sliver above the floored share
+        assert elapsed <= nominal + 0.01 * work + 1e-6
+        assert elapsed >= work
+
+
+class TestBatchBursts:
+    def test_batch_alone_full_speed(self, cpu):
+        t = cpu.attach("b", interactive=False)
+        assert cpu.burst_elapsed(t, 3.0) == 3.0
+
+    def test_batch_under_interactive_gets_pl_share(self, cpu):
+        cpu.attach("i", interactive=True, performance_loss=25)
+        t = cpu.attach("b", interactive=False)
+        assert cpu.burst_elapsed(t, 1.0) == pytest.approx(4.0)
+
+    def test_batch_starved_at_pl_zero(self, cpu):
+        cpu.attach("i", interactive=True, performance_loss=0)
+        t = cpu.attach("b", interactive=False)
+        assert cpu.burst_elapsed(t, 1.0) == 100.0
+
+    def test_two_batch_jobs_share(self, cpu):
+        t1 = cpu.attach("b1", interactive=False)
+        cpu.attach("b2", interactive=False)
+        assert cpu.burst_elapsed(t1, 1.0) == 2.0
+
+    def test_batch_share_split_among_batch_tenants(self, cpu):
+        cpu.attach("i", interactive=True, performance_loss=50)
+        t = cpu.attach("b1", interactive=False)
+        cpu.attach("b2", interactive=False)
+        # 50% allotment split two ways -> each runs at 25% speed.
+        assert cpu.burst_elapsed(t, 1.0) == pytest.approx(4.0)
+
+
+class TestRunAndIoDelay:
+    def test_run_consumes_time_and_accounts(self, cpu, env):
+        t = cpu.attach("i", interactive=True)
+
+        def proc():
+            elapsed = yield from cpu.run(t, 2.0)
+            return elapsed
+
+        p = env.process(proc())
+        env.run()
+        assert env.now == pytest.approx(2.0)
+        assert t.consumed == 2.0
+
+    def test_run_detached_tenant_rejected(self, cpu, env):
+        t = cpu.attach("i", interactive=True)
+        cpu.detach("i")
+
+        def proc():
+            yield from cpu.run(t, 1.0)
+
+        p = env.process(proc())
+        with pytest.raises(ValueError):
+            env.run()
+
+    def test_negative_work_rejected(self, cpu, env):
+        t = cpu.attach("i", interactive=True)
+
+        def proc():
+            yield from cpu.run(t, -1.0)
+
+        env.process(proc())
+        with pytest.raises(ValueError):
+            env.run()
+
+    def test_io_delay_zero_without_batch(self, cpu):
+        t = cpu.attach("i", interactive=True, performance_loss=25)
+        assert cpu.io_delay(t) == 0.0
+
+    def test_io_delay_scales_with_pl(self, cpu):
+        cpu.attach("b", interactive=False)
+        t10 = cpu.attach("i10", interactive=True, performance_loss=10)
+        t25 = cpu.attach("i25", interactive=True, performance_loss=25)
+        assert cpu.io_delay(t25) > cpu.io_delay(t10) > 0.0
+
+    def test_io_delay_zero_for_batch(self, cpu):
+        cpu.attach("i", interactive=True, performance_loss=25)
+        t = cpu.attach("b", interactive=False)
+        assert cpu.io_delay(t) == 0.0

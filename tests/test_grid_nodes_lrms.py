@@ -1,0 +1,224 @@
+"""Unit tests for worker nodes and the local batch systems."""
+
+import pytest
+
+from repro.calibration import SchedulerProfile
+from repro.grid import (
+    GridError,
+    JobState,
+    LocalBatchSystem,
+    QueueFullError,
+    SchedulingPolicy,
+    WorkerNode,
+)
+from repro.sim import Environment, RandomStreams
+
+
+@pytest.fixture
+def node(env, rng):
+    return WorkerNode(env, rng, "wn0.test", "test", SchedulerProfile())
+
+
+def make_lrms(env, rng, n_nodes=2, **kwargs):
+    nodes = [WorkerNode(env, rng, f"wn{i}.s", "s", SchedulerProfile())
+             for i in range(n_nodes)]
+    return LocalBatchSystem(env, rng, "s", nodes, dispatch_latency=1.0,
+                            **kwargs), nodes
+
+
+class TestWorkerNode:
+    def test_acquire_release(self, node):
+        node.acquire("job1")
+        assert not node.is_free
+        node.release("job1")
+        assert node.is_free
+
+    def test_double_acquire_rejected(self, node):
+        node.acquire("job1")
+        with pytest.raises(GridError):
+            node.acquire("job2")
+
+    def test_release_by_non_owner_rejected(self, node):
+        node.acquire("job1")
+        with pytest.raises(GridError):
+            node.release("intruder")
+
+    def test_execute_runs_behavior(self, node, env):
+        def behavior(ctx):
+            yield from ctx.cpu(2.0)
+            return ctx.node.name
+
+        proc = node.execute(behavior, "job", interactive=False)
+        env.run(until=proc)
+        assert proc.value == "wn0.test"
+        assert env.now == pytest.approx(2.0, rel=0.05)
+
+    def test_execute_detaches_tenant_after_finish(self, node, env):
+        def behavior(ctx):
+            yield from ctx.cpu(1.0)
+
+        proc = node.execute(behavior, "job", interactive=True)
+        env.run(until=proc)
+        assert node.cpu.interactive_count == 0
+        assert node.running == 0
+
+    def test_setup_hook_runs_before_behavior(self, node, env):
+        seen = {}
+
+        def setup(ctx):
+            ctx.params["tag"] = "wired"
+
+        def behavior(ctx):
+            seen["tag"] = ctx.params.get("tag")
+            yield from ctx.cpu(0.1)
+
+        proc = node.execute(behavior, "job", interactive=False, setup=setup)
+        env.run(until=proc)
+        assert seen["tag"] == "wired"
+
+    def test_context_io_includes_contention_delay(self, node, env):
+        node.cpu.attach("hog", interactive=False)
+
+        def behavior(ctx):
+            elapsed = yield from ctx.io(0.1)
+            return elapsed
+
+        proc = node.execute(behavior, "job", interactive=True,
+                            performance_loss=25)
+        env.run(until=proc)
+        assert proc.value > 0.1
+
+
+class TestLocalBatchSystem:
+    def test_immediate_dispatch_when_free(self, env, rng):
+        lrms, _ = make_lrms(env, rng)
+
+        def behavior(ctx):
+            yield from ctx.cpu(1.0)
+            return "ok"
+
+        handle = lrms.submit("job", "alice", behavior)
+        env.run(until=handle.finished)
+        assert handle.state is JobState.DONE
+        assert handle.result == "ok"
+        assert handle.started_at >= 0.5  # dispatch latency
+
+    def test_fifo_order(self, env, rng):
+        lrms, _ = make_lrms(env, rng, n_nodes=1)
+        order = []
+
+        def behavior(name):
+            def inner(ctx):
+                order.append(name)
+                yield from ctx.cpu(1.0)
+            return inner
+
+        handles = [lrms.submit(n, "u", behavior(n)) for n in "abc"]
+        env.run(until=handles[-1].finished)
+        assert order == ["a", "b", "c"]
+
+    def test_priority_policy_orders_queue(self, env, rng):
+        lrms, _ = make_lrms(env, rng, n_nodes=1,
+                            policy=SchedulingPolicy.PRIORITY)
+        order = []
+
+        def behavior(name):
+            def inner(ctx):
+                order.append(name)
+                yield from ctx.cpu(2.0)
+            return inner
+
+        # First job occupies the node; the queue then holds b (prio 5)
+        # and c (prio 1) -> c must run before b.
+        lrms.submit("a", "u", behavior("a"), priority=0)
+        h_b = lrms.submit("b", "u", behavior("b"), priority=5)
+        h_c = lrms.submit("c", "u", behavior("c"), priority=1)
+        env.run(until=h_b.finished)
+        assert order == ["a", "c", "b"]
+
+    def test_queue_full_rejected(self, env, rng):
+        lrms, _ = make_lrms(env, rng, n_nodes=1, max_queue=1)
+
+        def behavior(ctx):
+            yield from ctx.cpu(100.0)
+
+        lrms.submit("a", "u", behavior)
+        env.run(until=5)  # a running now
+        lrms.submit("b", "u", behavior)  # fills the queue
+        with pytest.raises(QueueFullError):
+            lrms.submit("c", "u", behavior)
+
+    def test_has_capacity(self, env, rng):
+        lrms, _ = make_lrms(env, rng, n_nodes=1, max_queue=1)
+        assert lrms.has_capacity()
+
+        def behavior(ctx):
+            yield from ctx.cpu(100.0)
+
+        lrms.submit("a", "u", behavior)
+        env.run(until=5)
+        assert lrms.has_capacity()  # queue empty
+        lrms.submit("b", "u", behavior)
+        assert not lrms.has_capacity()
+
+    def test_cancel_queued_job(self, env, rng):
+        lrms, _ = make_lrms(env, rng, n_nodes=1)
+
+        def behavior(ctx):
+            yield from ctx.cpu(100.0)
+
+        lrms.submit("a", "u", behavior)
+        env.run(until=3)
+        handle = lrms.submit("b", "u", behavior)
+        assert lrms.cancel(handle)
+        assert handle.state is JobState.CANCELLED
+        assert lrms.queue_length == 0
+
+    def test_cancel_running_job_fails(self, env, rng):
+        lrms, _ = make_lrms(env, rng, n_nodes=1)
+
+        def behavior(ctx):
+            yield from ctx.cpu(100.0)
+
+        handle = lrms.submit("a", "u", behavior)
+        env.run(until=5)
+        assert not lrms.cancel(handle)
+
+    def test_failing_job_releases_node(self, env, rng):
+        lrms, nodes = make_lrms(env, rng, n_nodes=1)
+
+        def bad(ctx):
+            yield from ctx.cpu(0.5)
+            raise RuntimeError("app crashed")
+
+        def good(ctx):
+            yield from ctx.cpu(0.5)
+            return "fine"
+
+        h1 = lrms.submit("bad", "u", bad)
+        h2 = lrms.submit("good", "u", good)
+        env.run(until=h2.finished)
+        assert h1.state is JobState.FAILED
+        assert h2.result == "fine"
+        assert nodes[0].is_free
+
+    def test_free_count_tracks_occupancy(self, env, rng):
+        lrms, _ = make_lrms(env, rng, n_nodes=2)
+
+        def behavior(ctx):
+            yield from ctx.cpu(10.0)
+
+        lrms.submit("a", "u", behavior)
+        env.run(until=3)
+        assert lrms.free_count == 1
+        assert lrms.queue_length == 0
+
+    def test_started_event_carries_node_name(self, env, rng):
+        lrms, _ = make_lrms(env, rng)
+
+        def behavior(ctx):
+            yield from ctx.cpu(0.5)
+
+        handle = lrms.submit("a", "u", behavior)
+        env.run(until=handle.started)
+        assert handle.started.value.startswith("wn")

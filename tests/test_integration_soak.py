@@ -1,0 +1,115 @@
+"""Soak test: replay a synthetic multi-user job mix against the broker.
+
+This is the closest thing to the paper's production testbed: many users,
+batch and interactive jobs arriving over an hour of simulated time, agents
+being planted, reused and leaving, consoles streaming, fair-share
+accounting running — all at once.  The assertions are global invariants,
+not per-job outcomes.
+"""
+
+import pytest
+
+from repro.core import CrossBroker, SubmissionPath
+from repro.grid import europe_testbed
+from repro.jdl import JobCategory
+from repro.sim import RandomStreams
+from repro.workloads import (
+    MixConfig,
+    cpu_bound_app,
+    generate_mix,
+    immediate_output_app,
+    replay,
+)
+
+
+@pytest.mark.slow
+class TestSoak:
+    def _run_mix(self, seed=2024, horizon=3600.0):
+        tb = europe_testbed(seed=seed, n_sites=4, nodes_per_site=3)
+        tb.publish_all_now()
+        broker = CrossBroker(tb.env, tb.network, tb.rng, tb.calibration)
+        config = MixConfig(
+            horizon=horizon,
+            batch_interarrival=400.0,
+            interactive_interarrival=250.0,
+            batch_runtime_mean=900.0,
+            interactive_runtime_mean=90.0,
+            shared_fraction=0.6,
+        )
+        arrivals = generate_mix(RandomStreams(seed), config)
+        assert arrivals, "mix must generate work"
+
+        def behavior_for(arrival, rank):
+            if arrival.job.category is JobCategory.BATCH:
+                return cpu_bound_app(arrival.runtime)
+            return immediate_output_app(run_for=arrival.runtime)
+
+        submitted, feeder = replay(tb.env, broker, arrivals, behavior_for)
+        tb.env.run(until=feeder)
+        # Drain: give every job time to finish or fail.
+        deadline = tb.env.now + 3 * 3600.0
+        while tb.env.now < deadline:
+            unresolved = [s for s in submitted
+                          if not s.finished.triggered
+                          and not s.report.rejected
+                          and s.report.error is None]
+            if not unresolved:
+                break
+            tb.env.run(until=tb.env.now + 120.0)
+        return tb, broker, submitted, arrivals
+
+    def test_mix_replay_invariants(self):
+        tb, broker, submitted, arrivals = self._run_mix()
+
+        assert len(submitted) == len(arrivals)
+        resolved = [s for s in submitted if s.finished.triggered
+                    or s.report.error is not None or s.report.rejected]
+        assert len(resolved) == len(submitted), "every job must resolve"
+
+        succeeded = [s for s in submitted if s.report.success
+                     and s.finished.triggered]
+        assert len(succeeded) >= len(submitted) * 0.5, (
+            f"only {len(succeeded)}/{len(submitted)} succeeded")
+
+        # No stuck leases, no leaked VM claims.
+        assert broker.leases.active_leases() == []
+        live_claims = [a for a, t in broker._vm_claims.items()
+                       if t > tb.env.now]
+        assert live_claims == []
+
+        # Fair-share shares all returned.
+        for user in broker.fairshare.users():
+            assert broker.fairshare.account(user).shares == {}, user
+
+        # Every node eventually free (agents left).
+        for site in tb.sites.values():
+            assert site.lrms.free_count == site.lrms.total_nodes
+
+        # Streaming consoles of successful interactive jobs saw output.
+        interactive_ok = [s for s in succeeded if s.job.is_interactive]
+        assert interactive_ok
+        for s in interactive_ok:
+            assert s.session is not None
+            assert s.report.first_output_at is not None
+
+    def test_paths_exercised(self):
+        tb, broker, submitted, _ = self._run_mix(seed=2025)
+        paths = {s.report.path for s in submitted if s.report.path}
+        # The mix must exercise at least batch and both interactive styles.
+        assert SubmissionPath.BATCH_WITH_AGENT in paths
+        interactive_paths = {
+            SubmissionPath.INTERACTIVE_EXCLUSIVE,
+            SubmissionPath.INTERACTIVE_SHARED_VM,
+            SubmissionPath.INTERACTIVE_SHARED_NEW_AGENT,
+        }
+        assert paths & interactive_paths
+
+    def test_deterministic_replay(self):
+        def fingerprint(seed):
+            tb, broker, submitted, _ = self._run_mix(seed=seed,
+                                                     horizon=1800.0)
+            return [(s.job.owner, s.report.path.value if s.report.path
+                     else None, round(s.report.response_time, 6))
+                    for s in submitted]
+
+        assert fingerprint(7) == fingerprint(7)

@@ -1,0 +1,169 @@
+"""Unit tests for classad expression evaluation semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jdl import (
+    Context,
+    EvalError,
+    UNDEFINED,
+    evaluate,
+    matches,
+    parse_expression,
+    rank_value,
+)
+
+
+def ev(text, own=None, other=None):
+    return evaluate(parse_expression(text), Context(own or {}, other or {}))
+
+
+class TestBasicEvaluation:
+    def test_literals(self):
+        assert ev("42") == 42
+        assert ev("3.5") == 3.5
+        assert ev('"str"') == "str"
+        assert ev("true") is True
+
+    def test_arithmetic(self):
+        assert ev("7 / 2") == 3.5
+        assert ev("2 * 3 - 1") == 5
+        assert ev('"a" + "b"') == "ab"
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvalError):
+            ev("1 / 0")
+
+    def test_comparisons(self):
+        assert ev("3 < 5") is True
+        assert ev("3 >= 5") is False
+        assert ev('"abc" < "abd"') is True
+
+    def test_string_equality_case_insensitive(self):
+        assert ev('"Linux" == "linux"') is True
+        assert ev('"Linux" != "LINUX"') is False
+
+    def test_type_errors(self):
+        with pytest.raises(EvalError):
+            ev('1 + "a"')
+        with pytest.raises(EvalError):
+            ev('1 && true')
+        with pytest.raises(EvalError):
+            ev("!3")
+
+    def test_unary(self):
+        assert ev("!false") is True
+        assert ev("-(4)") == -4
+
+
+class TestReferences:
+    def test_other_scope(self):
+        assert ev("other.FreeCPUs + 1", other={"FreeCPUs": 3}) == 4
+
+    def test_self_scope(self):
+        assert ev("self.NodeNumber", own={"NodeNumber": 2}) == 2
+
+    def test_bare_name_prefers_own(self):
+        assert ev("x", own={"x": 1}, other={"x": 2}) == 1
+
+    def test_bare_name_falls_back_to_other(self):
+        assert ev("x", other={"x": 2}) == 2
+
+    def test_case_insensitive_lookup(self):
+        assert ev("other.freecpus", other={"FreeCPUs": 9}) == 9
+
+
+class TestUndefinedSemantics:
+    def test_missing_reference_is_undefined(self):
+        assert ev("other.Missing") is UNDEFINED
+
+    def test_comparison_with_undefined_is_undefined(self):
+        assert ev("other.Missing > 3") is UNDEFINED
+
+    def test_false_and_undefined_is_false(self):
+        assert ev("false && other.Missing > 1") is False
+
+    def test_true_or_undefined_is_true(self):
+        assert ev("true || other.Missing > 1") is True
+
+    def test_true_and_undefined_is_undefined(self):
+        assert ev("true && (other.Missing > 1)") is UNDEFINED
+
+    def test_undefined_literal(self):
+        assert ev("undefined") is UNDEFINED
+
+    def test_isundefined_builtin(self):
+        assert ev("isUndefined(other.Missing)") is True
+        assert ev("isUndefined(3)") is False
+
+    def test_undefined_is_falsy(self):
+        assert not UNDEFINED
+
+
+class TestBuiltins:
+    def test_member(self):
+        assert ev('Member("a", other.Tags)',
+                  other={"Tags": ["a", "b"]}) is True
+        assert ev('Member("z", other.Tags)',
+                  other={"Tags": ["a", "b"]}) is False
+
+    def test_member_undefined_collection(self):
+        assert ev('Member("a", other.Missing)') is UNDEFINED
+
+    def test_member_bad_collection(self):
+        with pytest.raises(EvalError):
+            ev('Member("a", 3)')
+
+    def test_regexp(self):
+        assert ev('RegExp("wn[0-9]+", "wn12.site")') is True
+        assert ev('RegExp("^x", "wn12")') is False
+
+    def test_unknown_function(self):
+        with pytest.raises(EvalError):
+            ev("Frobnicate(1)")
+
+
+class TestMatchesAndRank:
+    def test_matches_requires_exactly_true(self):
+        req = parse_expression("other.FreeCPUs >= 2")
+        assert matches(req, {}, {"FreeCPUs": 4})
+        assert not matches(req, {}, {"FreeCPUs": 1})
+        assert not matches(req, {}, {})  # UNDEFINED != True
+
+    def test_matches_none_is_always_true(self):
+        assert matches(None, {}, {})
+
+    def test_rank_numeric(self):
+        rank = parse_expression("other.FreeCPUs * 10")
+        assert rank_value(rank, {}, {"FreeCPUs": 3}) == 30.0
+
+    def test_rank_boolean_coerced(self):
+        rank = parse_expression('other.SiteName == "uab"')
+        assert rank_value(rank, {}, {"SiteName": "uab"}) == 1.0
+        assert rank_value(rank, {}, {"SiteName": "ifca"}) == 0.0
+
+    def test_rank_undefined_is_minus_inf(self):
+        rank = parse_expression("other.Missing")
+        assert rank_value(rank, {}, {}) == float("-inf")
+
+    def test_rank_none_is_zero(self):
+        assert rank_value(None, {}, {}) == 0.0
+
+    def test_rank_string_rejected(self):
+        with pytest.raises(EvalError):
+            rank_value(parse_expression('"abc"'), {}, {})
+
+    @settings(max_examples=50, deadline=None)
+    @given(free=st.integers(0, 64), need=st.integers(1, 8))
+    def test_capacity_requirement_property(self, free, need):
+        req = parse_expression(f"other.FreeCPUs >= {need}")
+        assert matches(req, {}, {"FreeCPUs": free}) == (free >= need)
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=st.booleans(), b=st.booleans())
+    def test_boolean_logic_matches_python(self, a, b):
+        own = {"a": a, "b": b}
+        assert ev("a && b", own=own) == (a and b)
+        assert ev("a || b", own=own) == (a or b)
+        assert ev("!a", own=own) == (not a)

@@ -1,0 +1,165 @@
+"""Unit tests for the JDL lexer and parser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jdl import (
+    Binary,
+    JdlSyntaxError,
+    Literal,
+    Ref,
+    parse_document,
+    parse_expression,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_figure2_tokens(self):
+        tokens = tokenize('Executable = "app"; NodeNumber = 2;')
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["IDENT", "OP", "STRING", "PUNCT",
+                         "IDENT", "OP", "NUMBER", "PUNCT", "EOF"]
+
+    def test_string_escapes(self):
+        tokens = tokenize(r'"a\"b"')
+        assert tokens[0].value == 'a"b'
+
+    def test_unterminated_string(self):
+        with pytest.raises(JdlSyntaxError):
+            tokenize('"never ends')
+
+    def test_line_comments(self):
+        tokens = tokenize("a = 1; // comment\nb = 2; # also\n")
+        idents = [t.value for t in tokens if t.kind == "IDENT"]
+        assert idents == ["a", "b"]
+
+    def test_block_comments(self):
+        tokens = tokenize("a /* hidden\nstuff */ = 1;")
+        assert [t.value for t in tokens if t.kind == "IDENT"] == ["a"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(JdlSyntaxError):
+            tokenize("/* oops")
+
+    def test_float_and_int_numbers(self):
+        tokens = tokenize("3.25 7")
+        assert tokens[0].value == "3.25"
+        assert tokens[1].value == "7"
+
+    def test_member_dot_not_a_float(self):
+        tokens = tokenize("other.Attr")
+        assert [t.kind for t in tokens[:3]] == ["IDENT", "OP", "IDENT"]
+
+    def test_multichar_operators(self):
+        values = [t.value for t in tokenize("a >= b && c != d")
+                  if t.kind == "OP"]
+        assert values == [">=", "&&", "!="]
+
+    def test_error_reports_position(self):
+        with pytest.raises(JdlSyntaxError) as info:
+            tokenize("a = 1;\nb @ 2;")
+        assert info.value.line == 2
+
+    def test_unexpected_character(self):
+        with pytest.raises(JdlSyntaxError):
+            tokenize("a = `;")
+
+
+class TestParserDocuments:
+    def test_figure2_document(self):
+        doc = parse_document("""
+            Executable = "interactive_mpich-g2_app";
+            JobType    = {"interactive", "mpich-g2"};
+            NodeNumber = 2;
+            Arguments  = "-n";
+        """)
+        assert doc["executable"] == "interactive_mpich-g2_app"
+        assert doc["jobtype"] == ["interactive", "mpich-g2"]
+        assert doc["nodenumber"] == 2
+        assert doc["arguments"] == "-n"
+
+    def test_attribute_names_lowercased(self):
+        doc = parse_document("FooBar = 1;")
+        assert "foobar" in doc
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(JdlSyntaxError):
+            parse_document("a = 1; A = 2;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(JdlSyntaxError):
+            parse_document('a = 1 b = 2;')
+
+    def test_bracketed_classad_wrapper(self):
+        doc = parse_document("[ a = 1; b = 2; ]")
+        assert doc == {"a": 1, "b": 2}
+
+    def test_booleans_and_negative_numbers(self):
+        doc = parse_document("flag = true; off = FALSE; n = -3;")
+        assert doc["flag"] is True
+        assert doc["off"] is False
+        assert doc["n"] == -3
+
+    def test_nested_lists(self):
+        doc = parse_document('files = {{"a", 100}, {"b", 200}};')
+        assert doc["files"] == [["a", 100], ["b", 200]]
+
+    def test_empty_list(self):
+        assert parse_document("xs = {};")["xs"] == []
+
+    def test_expression_valued_attribute(self):
+        doc = parse_document("Requirements = other.FreeCPUs > 2;")
+        assert isinstance(doc["requirements"], Binary)
+
+    def test_empty_document(self):
+        assert parse_document("") == {}
+
+
+class TestParserExpressions:
+    def test_precedence_arithmetic_over_comparison(self):
+        expr = parse_expression("1 + 2 * 3 == 7")
+        assert isinstance(expr, Binary) and expr.op == "=="
+
+    def test_precedence_comparison_over_logic(self):
+        expr = parse_expression("a > 1 && b < 2")
+        assert expr.op == "&&"
+        assert expr.left.op == ">"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_scoped_reference(self):
+        expr = parse_expression("other.FreeCPUs")
+        assert expr == Ref("other", "FreeCPUs")
+
+    def test_self_scope(self):
+        expr = parse_expression("self.NodeNumber")
+        assert expr == Ref("self", "NodeNumber")
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(JdlSyntaxError):
+            parse_expression("bogus.attr")
+
+    def test_function_call(self):
+        expr = parse_expression('Member("x", other.Tags)')
+        assert expr.name == "Member"
+        assert len(expr.args) == 2
+
+    def test_unary_operators(self):
+        assert parse_expression("!true") is not None
+        assert parse_expression("-(3)") is not None
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(JdlSyntaxError):
+            parse_expression("1 + 2 extra")
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=st.integers(-1000, 1000), b=st.integers(-1000, 1000))
+    def test_integer_arithmetic_matches_python(self, a, b):
+        from repro.jdl import Context, evaluate
+
+        expr = parse_expression(f"({a}) + ({b}) * 2")
+        assert evaluate(expr, Context({}, {})) == a + b * 2

@@ -1,0 +1,135 @@
+"""Unit tests for tables, series analysis, and shape-check helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    AsciiTable,
+    Series,
+    crossover_size,
+    downsample,
+    format_cell,
+    indistinguishable,
+    ranking,
+    ratio,
+    relative_increase,
+    sparkline,
+    winner,
+)
+
+
+class TestAsciiTable:
+    def test_render_contains_data(self):
+        table = AsciiTable(["name", "value"], title="T")
+        table.add_row("alpha", 1.5)
+        table.add_row("beta", 2.0)
+        text = table.render()
+        assert "T" in text
+        assert "alpha" in text and "1.50" in text
+        assert text.count("+") >= 6
+
+    def test_row_arity_checked(self):
+        table = AsciiTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_markdown_render(self):
+        table = AsciiTable(["a", "b"], title="MD")
+        table.add_row("x", 1)
+        md = table.render_markdown()
+        assert "| a | b |" in md
+        assert "|---|---|" in md
+
+    def test_format_cell(self):
+        assert format_cell(None) == "-"
+        assert format_cell(float("nan")) == "-"
+        assert format_cell(1.23456) == "1.23"
+        assert format_cell(0.00001) == "1.00e-05"
+        assert format_cell("text") == "text"
+        assert format_cell(0.0) == "0.00"
+
+
+class TestSeries:
+    def test_mean_std(self):
+        s = Series.of("s", [1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.std == pytest.approx(1.0)
+
+    def test_single_sample_std_zero(self):
+        assert Series.of("s", [5.0]).std == 0.0
+
+    def test_ranking_and_winner(self):
+        series = {
+            "slow": Series.of("slow", [10.0, 11.0]),
+            "fast": Series.of("fast", [1.0, 1.1]),
+            "mid": Series.of("mid", [5.0]),
+        }
+        assert ranking(series) == ["fast", "mid", "slow"]
+        assert winner(series) == "fast"
+
+    def test_ratio(self):
+        a = Series.of("a", [2.0])
+        b = Series.of("b", [8.0])
+        assert ratio(a, b) == 0.25
+
+    def test_relative_increase(self):
+        ref = Series.of("ref", [10.0])
+        obs = Series.of("obs", [11.0])
+        assert relative_increase(ref, obs) == pytest.approx(0.1)
+
+    def test_indistinguishable(self):
+        a = Series.of("a", [1.0, 1.0])
+        b = Series.of("b", [1.005, 1.005])
+        c = Series.of("c", [1.5])
+        assert indistinguishable(a, b, 0.02)
+        assert not indistinguishable(a, c, 0.02)
+
+    def test_crossover_size(self):
+        a = {10: Series.of("a", [5.0]), 1000: Series.of("a", [5.5]),
+             10000: Series.of("a", [6.0])}
+        b = {10: Series.of("b", [1.0]), 1000: Series.of("b", [5.0]),
+             10000: Series.of("b", [9.0])}
+        assert crossover_size(a, b) == 10000
+
+    def test_crossover_none_when_never_wins(self):
+        a = {10: Series.of("a", [5.0])}
+        b = {10: Series.of("b", [1.0])}
+        assert crossover_size(a, b) is None
+
+
+class TestDownsampleSparkline:
+    def test_downsample_shrinks(self):
+        values = list(range(100))
+        buckets = downsample(values, 10)
+        assert len(buckets) == 10
+        assert buckets[0] == pytest.approx(np.mean(range(10)))
+
+    def test_downsample_short_series_passthrough(self):
+        assert downsample([1.0, 2.0], 10) == [1.0, 2.0]
+
+    def test_downsample_empty(self):
+        assert downsample([], 5) == []
+
+    def test_sparkline_length_and_charset(self):
+        line = sparkline(list(range(200)), width=40)
+        assert len(line) == 40
+        assert set(line) <= set("▁▂▃▄▅▆▇█")
+
+    def test_sparkline_flat_series(self):
+        line = sparkline([3.0] * 50, width=10)
+        assert line == "▁" * 10
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1,
+                           max_size=200),
+           buckets=st.integers(1, 50))
+    def test_downsample_preserves_bounds(self, values, buckets):
+        out = downsample(values, buckets)
+        assert out
+        assert min(out) >= min(values) - 1e-9
+        assert max(out) <= max(values) + 1e-9

@@ -1,0 +1,307 @@
+"""Unit tests for connections, listeners, port allocation, and RPC."""
+
+import pytest
+
+from repro.net import (
+    ConnectionClosedError,
+    ConnectionRefusedError_,
+    Listener,
+    Network,
+    PortAllocator,
+    PortInUseError,
+    RpcClient,
+    RpcError,
+    RpcServer,
+    connect,
+)
+from repro.sim import Environment, RandomStreams
+
+
+@pytest.fixture
+def world(env):
+    net = Network(env, RandomStreams(7))
+    net.add_host("client")
+    net.add_host("server")
+    net.add_link("client", "server", latency=0.001, bandwidth=1e7)
+    return net
+
+
+class TestPortAllocator:
+    def test_dynamic_ports_unique(self, world):
+        alloc = PortAllocator(world.host("server"))
+        p1 = alloc.allocate()
+        Listener(world, world.host("server"), p1)
+        p2 = alloc.allocate()
+        assert p1 != p2
+
+    def test_pinned_port(self, world):
+        alloc = PortAllocator(world.host("server"))
+        assert alloc.allocate(pinned=5555) == 5555
+
+    def test_pinned_port_conflict(self, world):
+        Listener(world, world.host("server"), 5555)
+        alloc = PortAllocator(world.host("server"))
+        with pytest.raises(PortInUseError):
+            alloc.allocate(pinned=5555)
+
+
+class TestConnections:
+    def test_connect_refused_without_listener(self, world, env):
+        def proc(env):
+            try:
+                yield from connect(world, "client", "server", 9999)
+            except ConnectionRefusedError_:
+                return "refused"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "refused"
+
+    def test_duplicate_listener_rejected(self, world):
+        Listener(world, world.host("server"), 1000)
+        with pytest.raises(PortInUseError):
+            Listener(world, world.host("server"), 1000)
+
+    def test_echo_roundtrip(self, world, env):
+        listener = Listener(world, world.host("server"), 1000)
+
+        def server(env):
+            conn = yield from listener.accept()
+            msg = yield from conn.recv()
+            yield from conn.send(msg[::-1], 100)
+
+        def client(env):
+            conn = yield from connect(world, "client", "server", 1000)
+            yield from conn.send("hello", 100)
+            reply = yield from conn.recv()
+            return reply
+
+        env.process(server(env))
+        c = env.process(client(env))
+        env.run()
+        assert c.value == "olleh"
+
+    def test_in_order_delivery(self, world, env):
+        listener = Listener(world, world.host("server"), 1000)
+
+        def server(env):
+            conn = yield from listener.accept()
+            got = []
+            for _ in range(10):
+                got.append((yield from conn.recv()))
+            return got
+
+        def client(env):
+            conn = yield from connect(world, "client", "server", 1000)
+            for i in range(10):
+                # Varying sizes would reorder without the flow clock.
+                yield from conn.send(i, 10000 if i % 2 == 0 else 10)
+
+        s = env.process(server(env))
+        env.process(client(env))
+        env.run()
+        assert s.value == list(range(10))
+
+    def test_send_after_close_raises(self, world, env):
+        listener = Listener(world, world.host("server"), 1000)
+
+        def server(env):
+            conn = yield from listener.accept()
+            conn.close()
+
+        def client(env):
+            conn = yield from connect(world, "client", "server", 1000)
+            yield env.timeout(1)
+            try:
+                yield from conn.send("x", 10)
+            except ConnectionClosedError:
+                return "closed"
+
+        env.process(server(env))
+        c = env.process(client(env))
+        env.run()
+        assert c.value == "closed"
+
+    def test_bytes_accounting(self, world, env):
+        listener = Listener(world, world.host("server"), 1000)
+
+        def server(env):
+            conn = yield from listener.accept()
+            yield from conn.recv()
+            return conn.bytes_received
+
+        def client(env):
+            conn = yield from connect(world, "client", "server", 1000)
+            yield from conn.send("payload", 512)
+            return conn.bytes_sent
+
+        s = env.process(server(env))
+        c = env.process(client(env))
+        env.run()
+        assert c.value == 512
+        assert s.value == 512
+
+
+class TestRpc:
+    def test_sync_and_generator_handlers(self, world, env):
+        server = RpcServer(world, "server", 2000)
+        server.register("double", lambda x: 2 * x)
+
+        def slow_triple(x):
+            yield env.timeout(1.0)
+            return 3 * x
+
+        server.register("triple", slow_triple)
+
+        def client(env):
+            rpc = RpcClient(world, "client", "server", 2000)
+            yield from rpc.connect()
+            a = yield from rpc.call("double", 21)
+            t0 = env.now
+            b = yield from rpc.call("triple", 5)
+            elapsed = env.now - t0
+            yield from rpc.close()
+            return (a, b, elapsed)
+
+        c = env.process(client(env))
+        env.run(until=c)
+        a, b, elapsed = c.value
+        assert (a, b) == (42, 15)
+        assert elapsed >= 1.0
+
+    def test_unknown_method_raises_rpc_error(self, world, env):
+        RpcServer(world, "server", 2000)
+
+        def client(env):
+            rpc = RpcClient(world, "client", "server", 2000)
+            yield from rpc.connect()
+            try:
+                yield from rpc.call("nope")
+            except RpcError as exc:
+                return str(exc)
+
+        c = env.process(client(env))
+        env.run(until=c)
+        assert "nope" in c.value
+
+    def test_handler_exception_forwarded(self, world, env):
+        server = RpcServer(world, "server", 2000)
+
+        def boom():
+            raise ValueError("remote kaboom")
+
+        server.register("boom", boom)
+
+        def client(env):
+            rpc = RpcClient(world, "client", "server", 2000)
+            yield from rpc.connect()
+            try:
+                yield from rpc.call("boom")
+            except RpcError as exc:
+                return exc.message
+
+        c = env.process(client(env))
+        env.run(until=c)
+        assert "remote kaboom" in c.value
+
+    def test_decorator_registration(self, world, env):
+        server = RpcServer(world, "server", 2000)
+
+        @server.handler("ping")
+        def ping():
+            return "pong"
+
+        def client(env):
+            rpc = RpcClient(world, "client", "server", 2000)
+            yield from rpc.connect()
+            result = yield from rpc.call("ping")
+            return result
+
+        c = env.process(client(env))
+        env.run(until=c)
+        assert c.value == "pong"
+
+    def test_calls_served_counter(self, world, env):
+        server = RpcServer(world, "server", 2000)
+        server.register("noop", lambda: None)
+
+        def client(env):
+            rpc = RpcClient(world, "client", "server", 2000)
+            yield from rpc.connect()
+            for _ in range(3):
+                yield from rpc.call("noop")
+            yield from rpc.close()
+
+        c = env.process(client(env))
+        env.run(until=c)
+        assert server.calls_served == 3
+
+    def test_call_during_outage_raises(self, world, env):
+        server = RpcServer(world, "server", 2000)
+        server.register("noop", lambda: None)
+        world.inject_outage("client", "server", 2.0, 100.0)
+
+        def client(env):
+            rpc = RpcClient(world, "client", "server", 2000)
+            yield from rpc.connect()
+            yield env.timeout(5)
+            try:
+                yield from rpc.call("noop")
+            except Exception as exc:
+                return type(exc).__name__
+
+        c = env.process(client(env))
+        env.run(until=c)
+        assert c.value == "LinkDownError"
+
+
+class TestGsi:
+    def test_handshake_costs_time(self, world, env):
+        from repro.net import Credential, handshake
+        from repro.sim import RandomStreams
+
+        rng = RandomStreams(1)
+        client = Credential("/CN=alice")
+        server = Credential("/CN=gk")
+
+        def proc(env):
+            session = yield from handshake(env, rng, client, server,
+                                           base_cost=1.4, rtt=0.01)
+            return (env.now, session)
+
+        p = env.process(proc(env))
+        env.run()
+        t, session = p.value
+        assert 1.0 < t < 2.0
+        assert session.client.subject == "/CN=alice"
+
+    def test_expired_proxy_rejected(self, world, env):
+        from repro.net import Credential, GsiError, handshake
+        from repro.sim import RandomStreams
+
+        proxy = Credential("/CN=alice").proxy(valid_until=5.0)
+        server = Credential("/CN=gk")
+
+        def proc(env):
+            yield env.timeout(10)
+            try:
+                yield from handshake(env, RandomStreams(1), proxy, server,
+                                     1.0, 0.0)
+            except GsiError:
+                return "expired"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "expired"
+
+    def test_proxy_delegation_chain(self):
+        from repro.net import Credential, GsiError
+
+        user = Credential("/CN=bob")
+        proxy = user.proxy(valid_until=100.0)
+        delegated = proxy.delegate(valid_until=200.0)
+        assert delegated.valid_until == 100.0  # bounded by parent
+        assert delegated.owner == "/CN=bob"
+        sealed = Credential("/CN=x").proxy(valid_until=10, delegated=False)
+        with pytest.raises(GsiError):
+            sealed.delegate(5.0)

@@ -1,0 +1,95 @@
+"""Output-sandbox retrieval (§1's batch workflow final step)."""
+
+import pytest
+
+from repro.core import CrossBroker
+from repro.grid import campus_grid, retrieve_output, wan_grid
+from repro.jdl import JobDescription
+from repro.workloads import cpu_bound_app, immediate_output_app
+
+
+class TestRetrieveOutputPrimitive:
+    def test_time_scales_with_bytes(self):
+        tb = campus_grid(seed=180, n_nodes=1)
+        env = tb.env
+        gk = tb.site("uab").gatekeeper_host
+
+        def run(files):
+            def driver():
+                elapsed = yield from retrieve_output(
+                    env, tb.network, tb.rng, gk, "broker", files)
+                return elapsed
+            proc = env.process(driver())
+            env.run(until=proc)
+            return proc.value
+
+        small = run([("out.log", 1000)])
+        big = run([("results.h5", 80_000_000)])
+        assert big > small * 2
+
+
+class TestBrokerIntegration:
+    def test_batch_output_retrieved(self):
+        tb = campus_grid(seed=181, n_nodes=1)
+        tb.publish_all_now()
+        broker = CrossBroker(tb.env, tb.network, tb.rng, tb.calibration)
+        job = JobDescription.from_attributes({
+            "executable": "sim",
+            "outputsandbox": [("results.dat", 10 << 20), "sim.log"],
+        }, owner="alice")
+        submitted = broker.submit(job, lambda r: cpu_bound_app(5.0))
+        tb.env.run(until=submitted.finished)
+        assert submitted.report.success
+        assert submitted.report.output_retrieval_time > 0
+        assert any(r.kind == "output-retrieved"
+                   for r in broker.trace.records)
+
+    def test_no_sandbox_no_cost(self):
+        tb = campus_grid(seed=182, n_nodes=1)
+        tb.publish_all_now()
+        broker = CrossBroker(tb.env, tb.network, tb.rng, tb.calibration)
+        job = JobDescription.from_attributes({"executable": "sim"},
+                                             owner="alice")
+        submitted = broker.submit(job, lambda r: cpu_bound_app(2.0))
+        tb.env.run(until=submitted.finished)
+        assert submitted.report.output_retrieval_time == 0.0
+
+    def test_interactive_exclusive_also_retrieves(self):
+        tb = campus_grid(seed=183, n_nodes=1)
+        tb.publish_all_now()
+        broker = CrossBroker(tb.env, tb.network, tb.rng, tb.calibration)
+        job = JobDescription.from_attributes({
+            "executable": "viz",
+            "jobtype": ["interactive", "sequential"],
+            "machineaccess": "exclusive",
+            "streamingmode": "fast",
+            "outputsandbox": [("frames.tar", 4 << 20)],
+        }, owner="alice")
+        submitted = broker.submit(job, lambda r: immediate_output_app())
+        tb.env.run(until=submitted.finished)
+        assert submitted.report.success
+        assert submitted.report.output_retrieval_time > 0
+
+    def test_wan_retrieval_slower_than_campus(self):
+        def retrieval_time(builder, seed):
+            tb = builder(seed=seed, n_nodes=1)
+            tb.publish_all_now()
+            broker = CrossBroker(tb.env, tb.network, tb.rng, tb.calibration)
+            job = JobDescription.from_attributes({
+                "executable": "sim",
+                "outputsandbox": [("big.dat", 40 << 20)],
+            }, owner="alice")
+            submitted = broker.submit(job, lambda r: cpu_bound_app(1.0))
+            tb.env.run(until=submitted.finished)
+            return submitted.report.output_retrieval_time
+
+        campus = retrieval_time(campus_grid, 184)
+        wan = retrieval_time(wan_grid, 185)
+        assert wan > campus
+
+    def test_jdl_roundtrip_with_output_sandbox(self):
+        job = JobDescription.from_attributes({
+            "executable": "x",
+            "outputsandbox": ["a.log", ("b.dat", 123)],
+        })
+        assert job.output_sandbox == (("a.log", 1 << 20), ("b.dat", 123))

@@ -1,0 +1,112 @@
+"""Preemptive (Condor-style) local scheduler, and the claim that the
+glide-in mechanism works "regardless of the configuration adopted by the
+local administrator" (§2)."""
+
+import pytest
+
+from repro.calibration import CAMPUS, SchedulerProfile
+from repro.core import CrossBroker, SubmissionPath
+from repro.grid import (
+    JobState,
+    LocalBatchSystem,
+    SchedulingPolicy,
+    SiteConfig,
+    WorkerNode,
+    base_world,
+)
+from repro.jdl import JobDescription
+from repro.sim import Environment, RandomStreams
+from repro.workloads import cpu_bound_app, immediate_output_app
+
+
+def make_lrms(env, rng, n_nodes=1, **kwargs):
+    nodes = [WorkerNode(env, rng, f"wn{i}.p", "p", SchedulerProfile())
+             for i in range(n_nodes)]
+    return LocalBatchSystem(env, rng, "p", nodes, dispatch_latency=0.5,
+                            policy=SchedulingPolicy.PREEMPTIVE, **kwargs)
+
+
+def cpu_behavior(duration):
+    def behavior(ctx):
+        yield from ctx.cpu(duration)
+        return duration
+    return behavior
+
+
+class TestPreemption:
+    def test_better_job_evicts_worse(self, env, rng):
+        lrms = make_lrms(env, rng)
+        low = lrms.submit("low", "u1", cpu_behavior(50.0), priority=10.0)
+        env.run(until=low.started)
+        high = lrms.submit("high", "u2", cpu_behavior(5.0), priority=1.0)
+        env.run(until=high.finished)
+        # The low-priority job was evicted and requeued, not failed.
+        assert low.preemptions == 1
+        assert low.state in (JobState.QUEUED, JobState.DISPATCHING,
+                             JobState.RUNNING)
+        env.run(until=low.finished)
+        assert low.result == 50.0  # restarted from scratch and completed
+
+    def test_equal_priority_does_not_preempt(self, env, rng):
+        lrms = make_lrms(env, rng)
+        first = lrms.submit("first", "u1", cpu_behavior(10.0), priority=5.0)
+        env.run(until=first.started)
+        second = lrms.submit("second", "u2", cpu_behavior(1.0), priority=5.0)
+        env.run(until=first.finished)
+        assert first.preemptions == 0
+
+    def test_worse_job_waits(self, env, rng):
+        lrms = make_lrms(env, rng)
+        good = lrms.submit("good", "u1", cpu_behavior(10.0), priority=1.0)
+        env.run(until=good.started)
+        bad = lrms.submit("bad", "u2", cpu_behavior(1.0), priority=9.0)
+        env.run(until=bad.finished)
+        assert good.preemptions == 0
+        assert bad.started_at > good.finished_at - 1e-9
+
+    def test_daemons_never_preempted(self, env, rng):
+        """The glide-in agent is a daemon; a priority LRMS must not evict
+        it via this path (the paper handles agent death separately)."""
+        lrms = make_lrms(env, rng)
+
+        def daemon_behavior(ctx):
+            yield from ctx.sleep(1000.0)
+            return "daemon done"
+
+        daemon = lrms.submit("agent", "broker", daemon_behavior,
+                             priority=10.0, daemon=True)
+        env.run(until=daemon.started)
+        urgent = lrms.submit("urgent", "u", cpu_behavior(1.0), priority=0.0)
+        env.run(until=env.now + 30)
+        assert daemon.preemptions == 0
+        assert urgent.state is JobState.QUEUED
+
+
+class TestBrokerOnPreemptiveSite:
+    def test_full_pipeline_works_regardless_of_lrms(self):
+        """§2: the mechanism applies "to any remote site, regardless of the
+        configuration adopted by the local administrator"."""
+        tb = base_world(seed=200)
+        tb.add_site(SiteConfig("condorish", n_nodes=2,
+                               policy=SchedulingPolicy.PREEMPTIVE), CAMPUS)
+        tb.publish_all_now()
+        broker = CrossBroker(tb.env, tb.network, tb.rng, tb.calibration)
+
+        batch = broker.submit(
+            JobDescription.from_attributes({"executable": "b"}, owner="bob"),
+            lambda r: cpu_bound_app(60.0))
+        tb.env.run(until=batch.started)
+        tb.publish_all_now()
+
+        inter = broker.submit(
+            JobDescription.from_attributes({
+                "executable": "i",
+                "jobtype": ["interactive", "sequential"],
+                "machineaccess": "shared", "performanceloss": 10,
+                "streamingmode": "fast"}, owner="alice"),
+            lambda r: immediate_output_app())
+        tb.env.run(until=inter.finished)
+        assert inter.report.success
+        assert inter.report.path is SubmissionPath.INTERACTIVE_SHARED_VM
+        tb.env.run(until=batch.finished)
+        assert batch.report.success

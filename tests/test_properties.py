@@ -1,0 +1,153 @@
+"""Cross-cutting property-based tests on substrate invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration import SchedulerProfile
+from repro.grid import WorkerCpu
+from repro.net import Network
+from repro.sim import Environment, RandomStreams
+from repro.streaming import StreamBuffer, StreamName
+
+
+class TestCpuModelProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(pl=st.integers(0, 100).filter(lambda v: v % 5 == 0),
+           work=st.floats(0.01, 10.0))
+    def test_interactive_burst_never_faster_than_work(self, pl, work):
+        env = Environment()
+        cpu = WorkerCpu(env, RandomStreams(1), SchedulerProfile())
+        cpu.attach("b", interactive=False)
+        t = cpu.attach("i", interactive=True, performance_loss=pl)
+        assert cpu.burst_elapsed(t, work) >= work
+
+    @settings(max_examples=60, deadline=None)
+    @given(pl=st.integers(5, 100).filter(lambda v: v % 5 == 0),
+           work=st.floats(0.5, 10.0))
+    def test_quantum_flooring_matches_closed_form(self, pl, work):
+        env = Environment()
+        profile = SchedulerProfile()
+        cpu = WorkerCpu(env, RandomStreams(1), profile)
+        cpu.attach("b", interactive=False)
+        t = cpu.attach("i", interactive=True, performance_loss=pl)
+        # Same float association as the implementation (share first), so
+        # the property checks the model, not IEEE rounding order.
+        quanta = math.floor(work * (pl / 100.0) / profile.quantum)
+        expected = work + quanta * (profile.quantum + profile.context_switch)
+        assert cpu.burst_elapsed(t, work) == pytest.approx(expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(pl_low=st.integers(0, 45).map(lambda v: v - v % 5),
+           work=st.floats(1.0, 5.0))
+    def test_batch_stretch_monotone_in_pl(self, pl_low, work):
+        pl_high = pl_low + 50
+
+        def batch_elapsed(pl):
+            env = Environment()
+            cpu = WorkerCpu(env, RandomStreams(1), SchedulerProfile())
+            cpu.attach("i", interactive=True, performance_loss=pl)
+            t = cpu.attach("b", interactive=False)
+            return cpu.burst_elapsed(t, work)
+
+        # The more CPU the interactive job cedes, the faster batch runs.
+        assert batch_elapsed(pl_high) <= batch_elapsed(pl_low) + 1e-9
+
+
+class TestNetworkProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(sizes=st.lists(st.integers(1, 100000), min_size=2, max_size=15),
+           seed=st.integers(0, 1000))
+    def test_connection_preserves_fifo_for_any_size_pattern(self, sizes, seed):
+        from repro.net import Listener, connect
+
+        env = Environment()
+        net = Network(env, RandomStreams(seed))
+        net.add_host("a")
+        net.add_host("b")
+        net.add_link("a", "b", latency=0.002, bandwidth=1e6, jitter=0.3)
+        listener = Listener(net, net.host("b"), 1)
+
+        def server():
+            conn = yield from listener.accept()
+            got = []
+            for _ in sizes:
+                got.append((yield from conn.recv()))
+            return got
+
+        def client():
+            conn = yield from connect(net, "a", "b", 1)
+            for i, size in enumerate(sizes):
+                yield from conn.send(i, size)
+
+        s = env.process(server())
+        env.process(client())
+        env.run(until=s)
+        assert s.value == list(range(len(sizes)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(nbytes=st.integers(0, 10_000_000))
+    def test_transfer_time_monotone_in_size(self, nbytes):
+        env = Environment()
+        net = Network(env, RandomStreams(3))
+        net.add_host("a")
+        net.add_host("b")
+        net.add_link("a", "b", latency=0.001, bandwidth=1e6)
+        small = net.base_transfer_time("a", "b", nbytes)
+        bigger = net.base_transfer_time("a", "b", nbytes + 1000)
+        assert bigger > small
+
+
+class TestBufferProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(writes=st.lists(
+        st.tuples(st.integers(0, 3000), st.booleans()),
+        min_size=1, max_size=25),
+        capacity=st.integers(16, 4096))
+    def test_eol_flags_never_lost(self, writes, capacity):
+        """Every eol write produces at least one eol-flagged chunk."""
+        env = Environment()
+        buffer = StreamBuffer(env, StreamName.STDOUT, capacity, None)
+        eol_writes = 0
+        for nbytes, eol in writes:
+            buffer.write("", nbytes, eol)
+            if eol:
+                eol_writes += 1
+        eol_chunks = sum(1 for c in buffer.outbox.items if c.eol)
+        if eol_writes:
+            assert eol_chunks >= 1
+        # eol chunks never outnumber eol writes.
+        assert eol_chunks <= eol_writes
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10000))
+    def test_rng_stream_isolation(self, seed):
+        """Drawing from one stream never perturbs another."""
+        a1 = RandomStreams(seed)
+        _ = a1.stream("noise").random(100)
+        x1 = a1.stream("signal").random(5)
+
+        a2 = RandomStreams(seed)
+        x2 = a2.stream("signal").random(5)
+        assert list(x1) == list(x2)
+
+
+class TestFairShareProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(af=st.floats(0.1, 2.0), cpus=st.integers(1, 10),
+           steps=st.integers(1, 300))
+    def test_priority_bounded_by_steady_state(self, af, cpus, steps):
+        from repro.calibration import FairShareConfig
+        from repro.core import FairShareAccounting
+
+        accounting = FairShareAccounting(
+            Environment(), FairShareConfig(), total_cpus=10, autostart=False)
+        accounting.job_started("u", "j", cpus=cpus, af=af)
+        previous = 0.0
+        for _ in range(steps):
+            accounting.step()
+            current = accounting.priority("u")
+            assert previous - 1e-12 <= current <= af * cpus / 10 + 1e-9
+            previous = current

@@ -1,0 +1,176 @@
+"""Deeper kernel semantics: condition failure ordering, interrupts while
+waiting on conditions, and multi-waiter events."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError
+
+
+class TestConditionFailures:
+    def test_all_of_fails_on_late_failure(self, env):
+        slow_bad = env.event()
+
+        def proc():
+            try:
+                yield env.timeout(1) & slow_bad
+            except RuntimeError as exc:
+                return (env.now, str(exc))
+
+        def failer():
+            yield env.timeout(3)
+            slow_bad.fail(RuntimeError("late"))
+
+        p = env.process(proc())
+        env.process(failer())
+        env.run()
+        assert p.value == (3.0, "late")
+
+    def test_any_of_success_beats_pending_failure(self, env):
+        never_fails = env.event()
+
+        def proc():
+            result = yield env.timeout(1, "fast") | never_fails
+            return list(result.values())
+
+        p = env.process(proc())
+        env.run(until=p)
+        assert p.value == ["fast"]
+
+    def test_condition_after_failure_not_retriggered(self, env):
+        bad = env.event()
+
+        def proc():
+            condition = env.timeout(5) & bad
+            try:
+                yield condition
+            except ValueError:
+                pass
+            # The timeout still fires later without re-poking the condition.
+            yield env.timeout(10)
+            return env.now
+
+        p = env.process(proc())
+        bad.fail(ValueError("x"))
+        env.run()
+        assert p.value == 10.0
+
+
+class TestInterruptsOnConditions:
+    def test_interrupt_while_waiting_on_condition(self, env):
+        def victim():
+            try:
+                yield env.timeout(10) & env.timeout(20)
+            except Interrupt as interrupt:
+                return (env.now, interrupt.cause)
+
+        def attacker(target):
+            yield env.timeout(2)
+            target.interrupt("now")
+
+        v = env.process(victim())
+        env.process(attacker(v))
+        env.run()
+        assert v.value == (2.0, "now")
+
+    def test_interrupt_then_rewait(self, env):
+        def victim():
+            timeout = env.timeout(10)
+            try:
+                yield timeout
+            except Interrupt:
+                pass
+            # Wait again on the SAME event after the interrupt.
+            value = yield timeout
+            return env.now
+
+        def attacker(target):
+            yield env.timeout(1)
+            target.interrupt()
+
+        v = env.process(victim())
+        env.process(attacker(v))
+        env.run()
+        assert v.value == 10.0
+
+
+class TestMultiWaiter:
+    def test_many_processes_one_event(self, env):
+        gate = env.event()
+        results = []
+
+        def waiter(tag):
+            value = yield gate
+            results.append((tag, value, env.now))
+
+        for tag in range(5):
+            env.process(waiter(tag))
+
+        def opener():
+            yield env.timeout(3)
+            gate.succeed("open")
+
+        env.process(opener())
+        env.run()
+        assert len(results) == 5
+        assert all(v == "open" and t == 3.0 for _, v, t in results)
+        assert [tag for tag, _, _ in results] == list(range(5))  # FIFO
+
+    def test_event_value_stable_after_processing(self, env):
+        event = env.event()
+        event.succeed({"k": 1})
+        env.run()
+        assert event.value == {"k": 1}
+        assert event.processed
+
+    def test_process_waiting_on_failed_process_chain(self, env):
+        def inner():
+            yield env.timeout(1)
+            raise KeyError("inner-bang")
+
+        def middle():
+            result = yield env.process(inner())
+            return result
+
+        def outer():
+            try:
+                yield env.process(middle())
+            except KeyError as exc:
+                return f"caught {exc}"
+
+        p = env.process(outer())
+        env.run()
+        assert "inner-bang" in p.value
+
+
+class TestSchedulingDiscipline:
+    def test_urgent_before_normal_at_same_time(self, env):
+        from repro.sim import NORMAL, URGENT
+
+        order = []
+        normal = env.event()
+        urgent = env.event()
+        normal.callbacks.append(lambda e: order.append("normal"))
+        urgent.callbacks.append(lambda e: order.append("urgent"))
+        # Schedule normal first, urgent second: urgent still runs first.
+        normal._ok = True
+        normal._value = None
+        env.schedule(normal, priority=NORMAL)
+        urgent._ok = True
+        urgent._value = None
+        env.schedule(urgent, priority=URGENT)
+        env.run()
+        assert order == ["urgent", "normal"]
+
+    def test_simultaneous_timeout_and_process_start(self, env):
+        order = []
+
+        def starter():
+            order.append(("proc", env.now))
+            yield env.timeout(0)
+
+        env.timeout(0).callbacks.append(
+            lambda e: order.append(("timeout", env.now)))
+        env.process(starter())
+        env.run()
+        # Process initialization is URGENT: it runs before the timeout.
+        assert order[0][0] == "proc"

@@ -1,0 +1,204 @@
+"""Unit tests for the kernel's event types."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestEventLifecycle:
+    def test_new_event_is_untriggered(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_unavailable_before_trigger(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+        with pytest.raises(SimulationError):
+            _ = event.ok
+
+    def test_succeed_sets_value(self, env):
+        event = env.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_succeed_twice_raises(self, env):
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, env):
+        event = env.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_fail_sets_not_ok(self, env):
+        event = env.event()
+        event.fail(ValueError("boom"))
+        event.defuse()
+        assert event.triggered
+        assert not event.ok
+        assert isinstance(event.value, ValueError)
+
+    def test_unhandled_failure_propagates_from_run(self, env):
+        event = env.event()
+        event.fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run()
+
+    def test_defused_failure_does_not_crash_run(self, env):
+        event = env.event()
+        event.fail(RuntimeError("handled"))
+        event.defuse()
+        env.run()  # no raise
+
+    def test_callbacks_run_once_on_processing(self, env):
+        event = env.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed("x")
+        env.run()
+        assert seen == ["x"]
+        assert event.processed
+
+
+class TestTimeout:
+    def test_timeout_fires_at_delay(self, env):
+        t = env.timeout(5.0, value="done")
+        env.run()
+        assert env.now == 5.0
+        assert t.value == "done"
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_zero_delay_fires_immediately(self, env):
+        t = env.timeout(0)
+        env.run()
+        assert env.now == 0.0
+        assert t.processed
+
+    def test_timeouts_fire_in_order(self, env):
+        order = []
+        for delay in (3, 1, 2):
+            env.timeout(delay).callbacks.append(
+                lambda e, d=delay: order.append(d))
+        env.run()
+        assert order == [1, 2, 3]
+
+    def test_equal_time_fifo(self, env):
+        order = []
+        for tag in "abc":
+            env.timeout(1).callbacks.append(
+                lambda e, t=tag: order.append(t))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestConditions:
+    def test_all_of_waits_for_every_event(self, env):
+        t1, t2 = env.timeout(1, "a"), env.timeout(3, "b")
+
+        def proc(env):
+            result = yield env.all_of([t1, t2])
+            return (env.now, list(result.values()))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (3.0, ["a", "b"])
+
+    def test_any_of_fires_on_first(self, env):
+        t1, t2 = env.timeout(5, "slow"), env.timeout(1, "fast")
+
+        def proc(env):
+            result = yield env.any_of([t1, t2])
+            return (env.now, list(result.values()))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (1.0, ["fast"])
+
+    def test_and_operator(self, env):
+        def proc(env):
+            yield env.timeout(1) & env.timeout(2)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 2.0
+
+    def test_or_operator(self, env):
+        def proc(env):
+            yield env.timeout(1) | env.timeout(2)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 1.0
+
+    def test_empty_all_of_fires_immediately(self, env):
+        def proc(env):
+            yield env.all_of([])
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 0.0
+
+    def test_condition_failure_propagates(self, env):
+        bad = env.event()
+
+        def proc(env):
+            try:
+                yield env.all_of([env.timeout(5), bad])
+            except ValueError as exc:
+                return str(exc)
+
+        p = env.process(proc(env))
+        bad.fail(ValueError("inner"))
+        env.run()
+        assert p.value == "inner"
+
+    def test_condition_with_pretriggered_events(self, env):
+        done = env.event()
+        done.succeed("early")
+        env.run(until=1)
+
+        def proc(env):
+            result = yield env.all_of([done])
+            return list(result.values())
+
+        p = env.process(proc(env))
+        env.run(until=2)
+        assert p.value == ["early"]
+
+    def test_mixed_env_events_rejected(self, env):
+        other = Environment()
+        with pytest.raises(ValueError):
+            AllOf(env, [env.timeout(1), other.timeout(1)])
+
+    def test_condition_value_mapping(self, env):
+        t1 = env.timeout(1, "x")
+
+        def proc(env):
+            result = yield env.all_of([t1])
+            assert t1 in result
+            assert result[t1] == "x"
+            assert len(result) == 1
+            return dict(result.items())
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == {t1: "x"}

@@ -1,0 +1,211 @@
+"""Unit tests for generator-backed processes."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError
+
+
+class TestProcessBasics:
+    def test_process_returns_generator_value(self, env):
+        def proc(env):
+            yield env.timeout(2)
+            return "result"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "result"
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_process_is_alive_until_done(self, env):
+        def proc(env):
+            yield env.timeout(5)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run(until=2)
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_yield_value_passed_back(self, env):
+        def proc(env):
+            value = yield env.timeout(1, "payload")
+            return value
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "payload"
+
+    def test_process_waits_for_process(self, env):
+        def inner(env):
+            yield env.timeout(3)
+            return "inner-done"
+
+        def outer(env):
+            result = yield env.process(inner(env))
+            return (env.now, result)
+
+        p = env.process(outer(env))
+        env.run()
+        assert p.value == (3.0, "inner-done")
+
+    def test_already_finished_process_yields_immediately(self, env):
+        def inner(env):
+            yield env.timeout(1)
+            return 7
+
+        inner_p = env.process(inner(env))
+        env.run()
+
+        def outer(env):
+            result = yield inner_p
+            return result
+
+        p = env.process(outer(env))
+        env.run()
+        assert p.value == 7
+
+    def test_exception_fails_process_event(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            raise RuntimeError("died")
+
+        def watcher(env, target):
+            try:
+                yield target
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        p = env.process(proc(env))
+        w = env.process(watcher(env, p))
+        env.run()
+        assert w.value == "caught died"
+
+    def test_unwatched_exception_crashes_run(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            raise RuntimeError("unwatched")
+
+        env.process(proc(env))
+        with pytest.raises(RuntimeError, match="unwatched"):
+            env.run()
+
+    def test_yielding_non_event_fails(self, env):
+        def proc(env):
+            yield 42  # type: ignore[misc]
+
+        def watcher(env, target):
+            try:
+                yield target
+            except SimulationError as exc:
+                return "bad-yield" in str(exc) or "non-event" in str(exc)
+
+        p = env.process(proc(env))
+        w = env.process(watcher(env, p))
+        env.run()
+        assert w.value is True
+
+    def test_name_defaults_to_generator_name(self, env):
+        def my_behavior(env):
+            yield env.timeout(0)
+
+        p = env.process(my_behavior(env))
+        assert p.name == "my_behavior"
+        env.run()
+
+    def test_active_process_tracking(self, env):
+        observed = []
+
+        def proc(env):
+            observed.append(env.active_process)
+            yield env.timeout(0)
+
+        p = env.process(proc(env))
+        env.run()
+        assert observed == [p]
+        assert env.active_process is None
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, env):
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                return (env.now, interrupt.cause)
+
+        def attacker(env, target):
+            yield env.timeout(2)
+            target.interrupt("preempted")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert v.value == (2.0, "preempted")
+
+    def test_interrupted_event_still_fires_harmlessly(self, env):
+        def victim(env):
+            timeout = env.timeout(5)
+            try:
+                yield timeout
+            except Interrupt:
+                pass
+            yield env.timeout(10)
+            return env.now
+
+        def attacker(env, target):
+            yield env.timeout(1)
+            target.interrupt()
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert v.value == 11.0
+
+    def test_interrupt_dead_process_raises(self, env):
+        def victim(env):
+            yield env.timeout(1)
+
+        v = env.process(victim(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            v.interrupt()
+
+    def test_self_interrupt_rejected(self, env):
+        def proc(env):
+            me = env.active_process
+            with pytest.raises(SimulationError):
+                me.interrupt()
+            yield env.timeout(0)
+            return "ok"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "ok"
+
+    def test_uncaught_interrupt_fails_process(self, env):
+        def victim(env):
+            yield env.timeout(100)
+
+        def attacker(env, target):
+            yield env.timeout(1)
+            target.interrupt("bang")
+
+        def watcher(env, target):
+            try:
+                yield target
+            except Interrupt as interrupt:
+                return interrupt.cause
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        w = env.process(watcher(env, v))
+        env.run()
+        assert w.value == "bang"
+
+    def test_interrupt_cause_repr(self):
+        interrupt = Interrupt("why")
+        assert interrupt.cause == "why"

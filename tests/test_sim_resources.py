@@ -1,0 +1,207 @@
+"""Unit tests for counted resources, priority resources, and containers."""
+
+import pytest
+
+from repro.sim import Container, PriorityResource, Resource, SimulationError
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_grant_within_capacity_is_immediate(self, env):
+        res = Resource(env, capacity=2)
+
+        def proc(env):
+            req = res.request()
+            yield req
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 0.0
+        assert res.count == 1
+
+    def test_fifo_queueing(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def worker(env, name, hold):
+            with res.request() as req:
+                yield req
+                order.append((env.now, name))
+                yield env.timeout(hold)
+
+        env.process(worker(env, "first", 2))
+        env.process(worker(env, "second", 2))
+        env.process(worker(env, "third", 2))
+        env.run()
+        assert order == [(0, "first"), (2, "second"), (4, "third")]
+
+    def test_context_manager_releases(self, env):
+        res = Resource(env, capacity=1)
+
+        def proc(env):
+            with res.request() as req:
+                yield req
+            return res.count
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 0
+
+    def test_queued_request_withdrawn_on_exit(self, env):
+        res = Resource(env, capacity=1)
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def impatient(env):
+            req = res.request()
+            result = yield req | env.timeout(1)
+            req.cancel()
+            return req.triggered
+
+        env.process(holder(env))
+        p = env.process(impatient(env))
+        env.run()
+        assert p.value is False
+        assert res.queue == []
+
+    def test_release_unheld_raises(self, env):
+        res = Resource(env, capacity=1)
+
+        def proc(env):
+            req = res.request()
+            yield req
+            res.release(req)
+            with pytest.raises(SimulationError):
+                res.release(req)
+            yield env.timeout(0)
+
+        env.process(proc(env))
+        env.run()
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_served_first(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def worker(env, name, priority, delay):
+            yield env.timeout(delay)
+            with res.request(priority=priority) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(5)
+
+        env.process(worker(env, "holder", 0, 0))
+        env.process(worker(env, "low", 5, 1))
+        env.process(worker(env, "high", 1, 2))
+        env.run()
+        assert order == ["holder", "high", "low"]
+
+    def test_fifo_among_equal_priorities(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def worker(env, name, delay):
+            yield env.timeout(delay)
+            with res.request(priority=3) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(5)
+
+        env.process(worker(env, "a", 0))
+        env.process(worker(env, "b", 1))
+        env.process(worker(env, "c", 2))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_withdraw_from_heap(self, env):
+        res = PriorityResource(env, capacity=1)
+
+        def holder(env):
+            with res.request(priority=0) as req:
+                yield req
+                yield env.timeout(10)
+
+        def quitter(env):
+            req = res.request(priority=1)
+            yield env.timeout(1)
+            req.cancel()
+            return True
+
+        def patient(env):
+            yield env.timeout(0.5)
+            with res.request(priority=2) as req:
+                yield req
+                return env.now
+
+        env.process(holder(env))
+        env.process(quitter(env))
+        p = env.process(patient(env))
+        env.run()
+        assert p.value == 10.0  # quitter never took the slot
+
+
+class TestContainer:
+    def test_init_bounds_checked(self, env):
+        with pytest.raises(ValueError):
+            Container(env, capacity=0)
+        with pytest.raises(ValueError):
+            Container(env, capacity=5, init=6)
+
+    def test_put_and_get(self, env):
+        tank = Container(env, capacity=100, init=10)
+
+        def proc(env):
+            yield tank.put(20)
+            got = yield tank.get(25)
+            return (got, tank.level)
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (25, 5.0)
+
+    def test_get_blocks_until_available(self, env):
+        tank = Container(env, capacity=100)
+
+        def consumer(env):
+            yield tank.get(10)
+            return env.now
+
+        def producer(env):
+            yield env.timeout(4)
+            yield tank.put(10)
+
+        c = env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert c.value == 4.0
+
+    def test_put_blocks_at_capacity(self, env):
+        tank = Container(env, capacity=10, init=10)
+
+        def producer(env):
+            yield tank.put(5)
+            return env.now
+
+        def consumer(env):
+            yield env.timeout(3)
+            yield tank.get(5)
+
+        p = env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert p.value == 3.0
+
+    def test_nonpositive_amounts_rejected(self, env):
+        tank = Container(env, capacity=10)
+        with pytest.raises(ValueError):
+            tank.put(0)
+        with pytest.raises(ValueError):
+            tank.get(-1)

@@ -1,0 +1,169 @@
+"""Unit tests for stream buffers and the three flush triggers (§4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+from repro.streaming import StreamBuffer, StreamName
+
+
+def make_buffer(env, capacity=100, timeout=0.25):
+    return StreamBuffer(env, StreamName.STDOUT, capacity, timeout,
+                        name="test")
+
+
+def drain(buffer):
+    return list(buffer.outbox.items)
+
+
+class TestEolTrigger:
+    def test_eol_flushes_immediately(self, env):
+        buffer = make_buffer(env)
+        buffer.write("hello", 5, eol=True)
+        chunks = drain(buffer)
+        assert len(chunks) == 1
+        assert chunks[0].data == "hello"
+        assert chunks[0].eol is True
+        assert buffer.flush_counts["eol"] == 1
+
+    def test_partial_writes_coalesce_until_eol(self, env):
+        buffer = make_buffer(env)
+        buffer.write("a", 1, eol=False)
+        buffer.write("b", 1, eol=False)
+        buffer.write("c\n", 2, eol=True)
+        chunks = drain(buffer)
+        assert len(chunks) == 1
+        assert chunks[0].data == "abc\n"
+        assert chunks[0].nbytes == 4
+
+
+class TestFullTrigger:
+    def test_buffer_full_flushes(self, env):
+        buffer = make_buffer(env, capacity=10)
+        buffer.write("x" * 10, 10, eol=False)
+        chunks = drain(buffer)
+        assert len(chunks) == 1
+        assert chunks[0].nbytes == 10
+        assert buffer.flush_counts["full"] == 1
+
+    def test_oversized_write_splits_into_capacity_chunks(self, env):
+        buffer = make_buffer(env, capacity=4096)
+        buffer.write("payload", 10000, eol=True)
+        chunks = drain(buffer)
+        # floor(10000/4096) = 2 full chunks + remainder with eol
+        assert [c.nbytes for c in chunks] == [4096, 4096, 1808]
+        assert chunks[-1].eol is True
+        assert sum(c.nbytes for c in chunks) == 10000
+
+    def test_exact_multiple_of_capacity_keeps_eol(self, env):
+        buffer = make_buffer(env, capacity=100)
+        buffer.write("data", 200, eol=True)
+        chunks = drain(buffer)
+        assert sum(c.nbytes for c in chunks) == 200
+        assert chunks[-1].eol is True
+
+    def test_large_write_single_chunk_when_under_capacity(self, env):
+        buffer = make_buffer(env, capacity=65536)
+        buffer.write("x", 10000, eol=True)
+        chunks = drain(buffer)
+        assert len(chunks) == 1
+        assert chunks[0].nbytes == 10000
+
+
+class TestTimeoutTrigger:
+    def test_timeout_flush_fires(self, env):
+        buffer = make_buffer(env, timeout=0.25)
+        buffer.write("partial", 7, eol=False)
+        env.run(until=1.0)
+        chunks = drain(buffer)
+        assert len(chunks) == 1
+        assert buffer.flush_counts["timeout"] == 1
+
+    def test_no_timeout_flush_when_already_flushed(self, env):
+        buffer = make_buffer(env, timeout=0.25)
+        buffer.write("line", 4, eol=True)
+        env.run(until=1.0)
+        assert buffer.flush_counts["timeout"] == 0
+
+    def test_timeout_disabled_with_none(self, env):
+        buffer = StreamBuffer(env, StreamName.STDOUT, 100, None)
+        buffer.write("partial", 7, eol=False)
+        env.run(until=2.0)
+        assert drain(buffer) == []
+        assert buffer.pending_bytes == 7
+
+    def test_timer_measures_from_first_dirty_write(self, env):
+        buffer = make_buffer(env, timeout=0.5)
+
+        def proc(env):
+            yield env.timeout(1.0)
+            buffer.write("x", 1, eol=False)
+            yield env.timeout(0.6)
+            return drain(buffer)
+
+        p = env.process(proc(env))
+        env.run(until=p)
+        assert len(p.value) == 1
+
+
+class TestManualFlushAndValidation:
+    def test_manual_flush(self, env):
+        buffer = make_buffer(env)
+        buffer.write("tail", 4, eol=False)
+        buffer.flush()
+        assert len(drain(buffer)) == 1
+        assert buffer.flush_counts["manual"] == 1
+
+    def test_flush_empty_is_noop(self, env):
+        buffer = make_buffer(env)
+        buffer.flush()
+        assert drain(buffer) == []
+
+    def test_negative_nbytes_rejected(self, env):
+        buffer = make_buffer(env)
+        with pytest.raises(ValueError):
+            buffer.write("x", -1, eol=True)
+
+    def test_capacity_positive(self, env):
+        with pytest.raises(ValueError):
+            StreamBuffer(env, StreamName.STDOUT, 0, None)
+
+    def test_shared_outbox(self, env):
+        from repro.sim import Store
+
+        shared = Store(env)
+        out = StreamBuffer(env, StreamName.STDOUT, 100, None, outbox=shared)
+        err = StreamBuffer(env, StreamName.STDERR, 100, None, outbox=shared)
+        out.write("o", 1, eol=True)
+        err.write("e", 1, eol=True)
+        assert len(shared.items) == 2
+        streams = [c.stream for c in shared.items]
+        assert StreamName.STDOUT in streams and StreamName.STDERR in streams
+
+
+class TestByteConservation:
+    @settings(max_examples=50, deadline=None)
+    @given(writes=st.lists(
+        st.tuples(st.integers(0, 5000), st.booleans()),
+        min_size=1, max_size=20),
+        capacity=st.integers(1, 8192))
+    def test_total_bytes_preserved(self, writes, capacity):
+        env = Environment()
+        buffer = StreamBuffer(env, StreamName.STDOUT, capacity, None)
+        total = 0
+        for nbytes, eol in writes:
+            buffer.write("", nbytes, eol)
+            total += nbytes
+        buffer.flush()
+        flushed = sum(c.nbytes for c in buffer.outbox.items)
+        assert flushed + buffer.pending_bytes == total
+
+    @settings(max_examples=50, deadline=None)
+    @given(nbytes=st.integers(1, 100000), capacity=st.integers(1, 4096))
+    def test_no_chunk_exceeds_capacity(self, nbytes, capacity):
+        env = Environment()
+        buffer = StreamBuffer(env, StreamName.STDOUT, capacity, None)
+        buffer.write("", nbytes, eol=True)
+        assert all(c.nbytes <= capacity for c in buffer.outbox.items)
+        assert sum(c.nbytes for c in buffer.outbox.items) == nbytes

@@ -1,0 +1,134 @@
+"""Workload trace files and the shipped sample JDL documents."""
+
+import glob
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jdl import JobDescription, parse_expression
+from repro.jdl.expr import Context, evaluate
+from repro.sim import RandomStreams
+from repro.workloads import MixConfig, generate_mix, load_trace, save_trace
+
+EXAMPLES_JDL = os.path.join(os.path.dirname(__file__), "..", "examples",
+                            "jdl")
+
+
+class TestTraceFiles:
+    def test_roundtrip(self, tmp_path):
+        arrivals = generate_mix(RandomStreams(42), MixConfig(horizon=2000))
+        path = str(tmp_path / "mix.json")
+        save_trace(arrivals, path, description="unit test")
+        loaded = load_trace(path)
+        assert len(loaded) == len(arrivals)
+        for original, restored in zip(arrivals, loaded):
+            assert restored.at == original.at
+            assert restored.runtime == original.runtime
+            assert restored.job.job_id == original.job.job_id
+            assert restored.job.owner == original.job.owner
+            assert restored.job.category == original.job.category
+            assert restored.job.machine_access == original.job.machine_access
+            assert restored.job.performance_loss \
+                == original.job.performance_loss
+
+    def test_loaded_sorted_even_if_file_is_not(self, tmp_path):
+        arrivals = generate_mix(RandomStreams(7), MixConfig(horizon=1500))
+        path = str(tmp_path / "mix.json")
+        save_trace(list(reversed(arrivals)), path)
+        loaded = load_trace(path)
+        times = [a.at for a in loaded]
+        assert times == sorted(times)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "jobs": []}')
+        with pytest.raises(ValueError):
+            load_trace(str(path))
+
+    def test_replayable_against_broker(self, tmp_path):
+        from repro.core import CrossBroker
+        from repro.grid import campus_grid
+        from repro.jdl import JobCategory
+        from repro.workloads import cpu_bound_app, immediate_output_app, replay
+
+        arrivals = generate_mix(
+            RandomStreams(3),
+            MixConfig(horizon=600, batch_interarrival=200,
+                      interactive_interarrival=200))
+        path = str(tmp_path / "mix.json")
+        save_trace(arrivals, path)
+        loaded = load_trace(path)
+
+        tb = campus_grid(seed=3, n_nodes=4)
+        tb.publish_all_now()
+        broker = CrossBroker(tb.env, tb.network, tb.rng, tb.calibration)
+
+        def behavior_for(arrival, rank):
+            if arrival.job.category is JobCategory.BATCH:
+                return cpu_bound_app(min(arrival.runtime, 60))
+            return immediate_output_app(run_for=min(arrival.runtime, 30))
+
+        submitted, feeder = replay(tb.env, broker, loaded, behavior_for)
+        tb.env.run(until=feeder)
+        tb.env.run(until=tb.env.now + 600)
+        assert submitted
+        assert any(s.report.success for s in submitted)
+
+
+class TestSampleJdlFiles:
+    def test_all_samples_parse_and_validate(self):
+        paths = sorted(glob.glob(os.path.join(EXAMPLES_JDL, "*.jdl")))
+        assert len(paths) >= 3
+        for path in paths:
+            with open(path, encoding="utf-8") as fh:
+                job = JobDescription.from_jdl(fh.read())
+            job.validate()
+
+    def test_figure2_sample_attributes(self):
+        with open(os.path.join(EXAMPLES_JDL, "interactive_mpi.jdl"),
+                  encoding="utf-8") as fh:
+            job = JobDescription.from_jdl(fh.read())
+        assert job.node_number == 2
+        assert job.console_agents == 2
+        assert job.wants_shared_vm
+
+    def test_batch_sample_sandboxes(self):
+        with open(os.path.join(EXAMPLES_JDL, "batch_simulation.jdl"),
+                  encoding="utf-8") as fh:
+            job = JobDescription.from_jdl(fh.read())
+        assert job.input_sandbox[0] == ("geometry.db", 2097152)
+        assert job.output_sandbox[1] == ("run.log", 1 << 20)
+        assert job.requirements is not None
+
+
+class TestExpressionStringRoundTrip:
+    CASES = [
+        "other.FreeCPUs >= 2 && other.OpSys == \"Linux\"",
+        "other.FreeCPUs * 2 + 1",
+        "!(other.Busy) || self.NodeNumber < 4",
+        "Member(\"cms\", other.Tags)",
+        "-(3) + other.CpuMHz / 2",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_str_reparses_to_equal_semantics(self, source):
+        first = parse_expression(source)
+        second = parse_expression(str(first))
+        context = Context(
+            {"nodenumber": 2},
+            {"FreeCPUs": 3, "OpSys": "Linux", "Busy": False,
+             "Tags": ["cms", "atlas"], "CpuMHz": 2400})
+        assert evaluate(first, context) == evaluate(second, context)
+        assert str(second) == str(first)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=st.integers(-100, 100), b=st.integers(1, 100),
+           op=st.sampled_from(["+", "-", "*", "<", ">=", "=="]))
+    def test_random_binary_roundtrip(self, a, b, op):
+        source = f"({a}) {op} ({b})"
+        first = parse_expression(source)
+        second = parse_expression(str(first))
+        context = Context({}, {})
+        assert evaluate(first, context) == evaluate(second, context)
