@@ -194,6 +194,10 @@ class CrossBroker:
         report = submitted.report
         self.trace.log(self.env.now, "submit", job=job.job_id,
                        owner=job.owner, interactive=job.is_interactive)
+        tr = self.env.tracer
+        span = tr.begin("submit", job=job.job_id, owner=job.owner,
+                        interactive=job.is_interactive) \
+            if tr is not None else None
         try:
             if job.wants_shared_vm:
                 yield from self._run_shared(submitted, factory)
@@ -205,11 +209,16 @@ class CrossBroker:
             report.error = f"{type(exc).__name__}: {exc}"
             self.trace.log(self.env.now, "failed", job=job.job_id,
                            error=report.error)
+            if tr is not None:
+                tr.end(span, status="error")
+                tr.count("jobs_failed", job=job.job_id)
             if not submitted.finished.triggered:
                 submitted.finished.fail(exc)
                 submitted.finished.defuse()
             return
         report.finished_at = self.env.now
+        if tr is not None:
+            tr.end(span)
 
     # ------------------------------------------------------------------
     # Path 1: batch (+ glide-in agent)
@@ -266,6 +275,9 @@ class CrossBroker:
             attempts += 1
             self.trace.log(self.env.now, "broker-queued", job=job.job_id,
                            attempt=attempts)
+            tr = self.env.tracer
+            if tr is not None:
+                tr.count("broker_queued", job=job.job_id)
             self._queued_batch.append(submitted)
             try:
                 yield self.env.timeout(self.config.queue_poll_interval)
@@ -330,8 +342,13 @@ class CrossBroker:
         job = submitted.job
         report = submitted.report
         # Combined discovery+selection: the VM registry is local state.
+        tr = self.env.tracer
+        span = tr.begin("match", job=job.job_id, path="registry") \
+            if tr is not None else None
         yield self.env.timeout(self.rng.jitter(
             "broker/registry", self.config.registry_lookup_cost, 0.2))
+        if tr is not None:
+            tr.end(span)
         report.discovery_time = 0.0
         report.selection_time = self.env.now - report.submitted_at
 
@@ -367,6 +384,8 @@ class CrossBroker:
         # "CrossBroker searches for an idle machine and submits the agent
         # and the application in a similar way to... a batch job").
         self._vm_miss_times.append(self.env.now)
+        if tr is not None:
+            tr.count("vm_miss", job=job.job_id)
         report.path = SubmissionPath.INTERACTIVE_SHARED_NEW_AGENT
         candidates = yield from self._discover_and_select(submitted)
         idle = [c for c in candidates
@@ -405,6 +424,9 @@ class CrossBroker:
         """Stages 1+2; fills the report's timing columns."""
         job = submitted.job
         report = submitted.report
+        tr = self.env.tracer
+        span = tr.begin("match", job=job.job_id, path="mds") \
+            if tr is not None else None
         adverts, discovery_time = yield from self.selector.discover()
         report.discovery_time = discovery_time
         self._note_grid_size(adverts)
@@ -414,6 +436,8 @@ class CrossBroker:
                        n_candidates=len(outcome.candidates),
                        discovery=discovery_time,
                        selection=outcome.selection_time)
+        if tr is not None:
+            tr.end(span)
         return outcome.candidates
 
     def _note_grid_size(self, adverts) -> None:
@@ -455,9 +479,21 @@ class CrossBroker:
         if not job.output_sandbox or not submitted.report.sites:
             return
         gatekeeper = f"gk.{submitted.report.sites[0]}"
-        elapsed = yield from retrieve_output(
-            self.env, self.network, self.rng, gatekeeper, self.broker_host,
-            job.output_sandbox)
+        tr = self.env.tracer
+        span = tr.begin("output_retrieval", job=job.job_id,
+                        site=submitted.report.sites[0],
+                        nbytes=job.output_sandbox) \
+            if tr is not None else None
+        try:
+            elapsed = yield from retrieve_output(
+                self.env, self.network, self.rng, gatekeeper,
+                self.broker_host, job.output_sandbox)
+        except BaseException:
+            if tr is not None:
+                tr.end(span, status="error")
+            raise
+        if tr is not None:
+            tr.end(span)
         submitted.report.output_retrieval_time = elapsed
         self.trace.log(self.env.now, "output-retrieved", job=job.job_id,
                        elapsed=elapsed)
@@ -487,6 +523,9 @@ class CrossBroker:
         job = submitted.job
         report = submitted.report
         submit_started = self.env.now
+        tr = self.env.tracer
+        span = tr.begin("gram_submit", job=job.job_id, site=candidate.site,
+                        rank=rank) if tr is not None else None
         yield from self._charge_shadow_setup(submitted)
         lease = self.leases.acquire(candidate.site, job.job_id)
         gram = GramClient(self.env, self.network, self.rng, self.broker_host,
@@ -514,6 +553,8 @@ class CrossBroker:
         except BaseException:
             self.leases.release(lease)
             yield from gram.close()
+            if tr is not None:
+                tr.end(span, status="error")
             raise
         self.leases.release(lease)
 
@@ -525,6 +566,9 @@ class CrossBroker:
         if not ticket.handle.started.triggered:
             self.trace.log(self.env.now, "resubmit", job=job.job_id,
                            site=candidate.site)
+            if tr is not None:
+                tr.end(span, status="queued-timeout")
+                tr.count("resubmits", job=job.job_id, site=candidate.site)
             try:
                 yield from gram.cancel(ticket.gram_id)
             except NetworkError:
@@ -533,6 +577,8 @@ class CrossBroker:
             return False
         yield from gram.close()
 
+        if tr is not None:
+            tr.end(span)
         report.sites.append(candidate.site)
         report.started_at = self.env.now
         report.submission_time = self.env.now - submit_started
@@ -558,12 +604,17 @@ class CrossBroker:
         yield from self._charge_shadow_setup(submitted)
         finish_events: List[Event] = []
         start_events: List[Event] = []
+        tr = self.env.tracer
         for subjob in subjobs:
             candidate = by_site[subjob.site]
             lease = self.leases.acquire(candidate.site, job.job_id)
             gram = GramClient(self.env, self.network, self.rng,
                               self.broker_host, candidate.gatekeeper,
                               self.costs)
+            span = tr.begin("gram_submit", job=job.job_id,
+                            site=candidate.site, rank=subjob.rank) \
+                if tr is not None else None
+            ok = False
             try:
                 yield from gram.connect()
                 setup = None
@@ -578,9 +629,12 @@ class CrossBroker:
                     interactive=True, two_phase=True,
                     priority=self.fairshare.ordering_key(job.owner),
                     setup=setup)
+                ok = True
             finally:
                 self.leases.release(lease)
                 yield from gram.close()
+                if tr is not None:
+                    tr.end(span, status="ok" if ok else "error")
             start_events.append(ticket.handle.started)
             finish_events.append(ticket.handle.finished)
             if candidate.site not in report.sites:
@@ -601,9 +655,17 @@ class CrossBroker:
         """Submit a glide-in agent to a site through GRAM and wait for it."""
         job = submitted.job
         site_obj_host = candidate.gatekeeper
+        tr = self.env.tracer
+        span = tr.begin("agent_bootstrap", job=job.job_id,
+                        site=candidate.site) if tr is not None else None
         gram = GramClient(self.env, self.network, self.rng, self.broker_host,
                           site_obj_host, self.costs)
-        yield from gram.connect()
+        try:
+            yield from gram.connect()
+        except BaseException:
+            if tr is not None:
+                tr.end(span, status="error")
+            raise
         # Glide-in sandbox transfer (the agent binary) dominates staging.
         yield self.env.timeout(self.rng.jitter(
             "broker/glidein-transfer", self.costs.glidein_transfer, 0.10))
@@ -627,9 +689,15 @@ class CrossBroker:
             result = yield from inner(ctx)
             return result
 
-        ticket = yield from gram.submit(f"glidein/{candidate.site}",
-                                        "crossbroker", bootstrap,
-                                        daemon=True)
+        try:
+            ticket = yield from gram.submit(f"glidein/{candidate.site}",
+                                            "crossbroker", bootstrap,
+                                            daemon=True)
+        except BaseException:
+            yield from gram.close()
+            if tr is not None:
+                tr.end(span, status="error")
+            raise
         yield from gram.close()
         yield ticket.handle.started
         # Wait for the runtime to boot and register.
@@ -639,6 +707,9 @@ class CrossBroker:
         self.trace.log(self.env.now, "agent-ready",
                        agent=record.runtime.agent_id, site=candidate.site,
                        job=job.job_id)
+        if tr is not None:
+            tr.end(span)
+            tr.count("agents_planted", site=candidate.site)
         return record
 
     def _agent_rpc(self, record: AgentRecord) -> Generator:
@@ -659,18 +730,29 @@ class CrossBroker:
         report = submitted.report
         if submit_started is None:
             submit_started = self.env.now
+        tr = self.env.tracer
+        span = tr.begin("dispatch", job=job.job_id, site=record.site,
+                        agent=record.runtime.agent_id, vm="batch") \
+            if tr is not None else None
         yield from self._charge_shadow_setup(submitted)
-        rpc = yield from self._agent_rpc(record)
         setup = None
         if submitted.session is not None:
             setup = submitted.session.make_setup(record.runtime.node.name, 0)
         try:
-            ticket = yield from rpc.call(
-                "agent.run_job", job.job_id, factory(0), False, 0,
-                setup=setup, nbytes=2048)
-        finally:
-            yield from rpc.close()
-        yield ticket.started
+            rpc = yield from self._agent_rpc(record)
+            try:
+                ticket = yield from rpc.call(
+                    "agent.run_job", job.job_id, factory(0), False, 0,
+                    setup=setup, nbytes=2048)
+            finally:
+                yield from rpc.close()
+            yield ticket.started
+        except BaseException:
+            if tr is not None:
+                tr.end(span, status="error")
+            raise
+        if tr is not None:
+            tr.end(span)
         report.sites.append(record.site)
         report.started_at = self.env.now
         report.submission_time = self.env.now - submit_started
@@ -710,6 +792,13 @@ class CrossBroker:
                                job=job.job_id,
                                agent=record.runtime.agent_id,
                                attempt=submitted.report.resubmissions)
+                tr = self.env.tracer
+                if tr is not None:
+                    tr.count("agent_died_resubmit", job=job.job_id,
+                             site=record.site)
+                    tr.event("agent_died", job=job.job_id,
+                             agent=record.runtime.agent_id,
+                             attempt=submitted.report.resubmissions)
                 try:
                     yield from self._run_batch(submitted, factory)
                 except Exception as resubmit_exc:  # noqa: BLE001
@@ -740,22 +829,34 @@ class CrossBroker:
         job = submitted.job
         report = submitted.report
         submit_started = self.env.now
+        tr = self.env.tracer
         yield from self._charge_shadow_setup(submitted)
         finish_events: List[Event] = []
         displaced: List[Tuple[str, str, float]] = []
         for rank, record in enumerate(records):
-            rpc = yield from self._agent_rpc(record)
+            span = tr.begin("dispatch", job=job.job_id, site=record.site,
+                            agent=record.runtime.agent_id, rank=rank,
+                            vm="interactive") if tr is not None else None
             setup = None
             if submitted.session is not None:
                 setup = submitted.session.make_setup(
                     record.runtime.node.name, rank)
             try:
-                ticket = yield from rpc.call(
-                    "agent.run_job", f"{job.job_id}/r{rank}", factory(rank),
-                    True, job.performance_loss, setup=setup, nbytes=2048)
-            finally:
-                yield from rpc.close()
-            yield ticket.started
+                rpc = yield from self._agent_rpc(record)
+                try:
+                    ticket = yield from rpc.call(
+                        "agent.run_job", f"{job.job_id}/r{rank}",
+                        factory(rank), True, job.performance_loss,
+                        setup=setup, nbytes=2048)
+                finally:
+                    yield from rpc.close()
+                yield ticket.started
+            except BaseException:
+                if tr is not None:
+                    tr.end(span, status="error")
+                raise
+            if tr is not None:
+                tr.end(span)
             finish_events.append(ticket.finished)
             if record.site not in report.sites:
                 report.sites.append(record.site)

@@ -1,0 +1,146 @@
+"""``repro trace`` — traced Table-I runs with a per-phase latency breakdown.
+
+Reuses the Table I harness (world construction + pinned jobs) but installs
+a :class:`repro.obs.Tracer` on the environment, so every middleware stage
+the broker traverses (matchmaking, GRAM submission, glide-in bootstrap,
+agent dispatch, VM acquisition, streaming, output retrieval) is attributed
+against sim-time.  Output is the per-phase breakdown table plus counters;
+``--json``/``--csv`` dump the raw trace for notebooks and CI artifacts.
+
+Usage::
+
+    python -m repro.experiments trace                      # all methods
+    python -m repro.experiments trace --method virtual-machine --jobs 10
+    python -m repro.experiments trace --scenario wan --json trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Generator, List, Optional
+
+from ..core import CrossBroker
+from ..metrics import (
+    counters_table,
+    job_breakdown_table,
+    phase_breakdown_table,
+    write_trace_csv,
+)
+from ..obs import Tracer
+from ..workloads import cpu_bound_app, immediate_output_app
+from .table1 import Table1Config, _pinned_job, _world
+
+#: Broker-mediated Table I methods (glogin bypasses the broker entirely,
+#: so there is nothing for the lifecycle tracer to attribute).
+TRACE_METHODS = ("idle", "virtual-machine", "job+agent")
+
+
+def run_traced_method(method: str, scenario: str = "campus", jobs: int = 5,
+                      seed: int = 1, n_sites: int = 20) -> Tracer:
+    """Run ``jobs`` submissions of one Table I method under a tracer."""
+    if method not in TRACE_METHODS:
+        raise ValueError(f"method must be one of {TRACE_METHODS}, "
+                         f"got {method!r}")
+    config = Table1Config(jobs_per_method=jobs, n_sites=n_sites, seed=seed)
+    offset = TRACE_METHODS.index(method) + 1
+    tb, target = _world(config, scenario, offset)
+    env = tb.env
+    tracer = Tracer(env).install()
+    broker = CrossBroker(env, tb.network, tb.rng, config.calibration)
+
+    def driver() -> Generator:
+        if method == "virtual-machine":
+            # Seed one glide-in agent so the shared path finds a free VM.
+            seed_job = _pinned_job(target, "background", False, False)
+            seeded = broker.submit(seed_job, lambda r: cpu_bound_app(1e7))
+            yield seeded.started
+        for i in range(jobs):
+            if method == "idle":
+                job = _pinned_job(target, f"user{i % 5}", True, False)
+            elif method == "virtual-machine":
+                job = _pinned_job(target, f"user{i % 5}", True, True)
+            else:  # job+agent
+                job = _pinned_job(target, f"user{i % 5}", False, False)
+            submitted = broker.submit(
+                job, lambda r: immediate_output_app(run_for=0.5),
+                attach_console=True)
+            yield submitted.finished
+            yield env.timeout(5.0)
+            if method == "job+agent":
+                while broker.agents.live_agents():
+                    yield env.timeout(1.0)
+                tb.publish_all_now()
+        return None
+
+    proc = env.process(driver(), name=f"trace/{method}")
+    env.run(until=proc)
+    return tracer
+
+
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="crossbroker-repro trace",
+        description="Traced Table I run: per-phase latency breakdown of "
+                    "the job lifecycle (see repro.obs).")
+    parser.add_argument("--method", choices=TRACE_METHODS + ("all",),
+                        default="all", help="submission method to trace")
+    parser.add_argument("--scenario", choices=("campus", "wan"),
+                        default="campus")
+    parser.add_argument("--jobs", type=int, default=5,
+                        help="submissions per method (default 5)")
+    parser.add_argument("--sites", type=int, default=20,
+                        help="grid size (default 20, as in §6.1)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--per-job", action="store_true",
+                        help="also print the per-job phase totals")
+    parser.add_argument("--json", metavar="PATH",
+                        help="dump the full trace(s) as JSON")
+    parser.add_argument("--csv", metavar="PATH",
+                        help="dump retained spans as CSV (one file per "
+                             "method, method name inserted when tracing "
+                             "several)")
+    args = parser.parse_args(argv)
+
+    methods = list(TRACE_METHODS) if args.method == "all" else [args.method]
+    payload = {"scenario": args.scenario, "jobs": args.jobs,
+               "sites": args.sites, "seed": args.seed, "methods": {}}
+    for method in methods:
+        tracer = run_traced_method(method, scenario=args.scenario,
+                                   jobs=args.jobs, seed=args.seed,
+                                   n_sites=args.sites)
+        title = (f"Per-phase latency breakdown — {method}, {args.scenario} "
+                 f"({args.jobs} jobs)")
+        print(phase_breakdown_table(tracer, title=title).render())
+        print()
+        print(counters_table(tracer, title=f"Counters — {method}").render())
+        print()
+        if args.per_job:
+            print(job_breakdown_table(tracer).render())
+            print()
+        payload["methods"][method] = tracer.to_dict()
+        if args.csv:
+            path = args.csv
+            if len(methods) > 1:
+                stem, dot, ext = path.rpartition(".")
+                path = f"{stem}.{method}.{ext}" if dot else f"{path}.{method}"
+            n = write_trace_csv(tracer, path)
+            print(f"wrote {n} spans to {path}")
+    if args.json:
+        if len(methods) == 1:
+            # Single-method runs keep the flat tracer snapshot layout.
+            tracer_dict = payload["methods"][methods[0]]
+            tracer_dict["run"] = {k: v for k, v in payload.items()
+                                  if k != "methods"}
+            tracer_dict["run"]["method"] = methods[0]
+            body = tracer_dict
+        else:
+            body = payload
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(body, fh, indent=2, default=str)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+__all__ = ["TRACE_METHODS", "run_traced_method", "trace_main"]

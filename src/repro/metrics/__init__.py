@@ -1,6 +1,13 @@
 """Measurement post-processing: tables, series, shape checks."""
 
 from .figures import AsciiChart, series_chart, size_profile_chart
+from .phases import (
+    counters_table,
+    job_breakdown_table,
+    phase_breakdown_table,
+    write_trace_csv,
+    write_trace_json,
+)
 from .timeline import JobLane, render_timeline
 from .series import (
     Series,
@@ -19,6 +26,11 @@ __all__ = [
     "AsciiChart",
     "AsciiTable",
     "JobLane",
+    "counters_table",
+    "job_breakdown_table",
+    "phase_breakdown_table",
+    "write_trace_csv",
+    "write_trace_json",
     "render_timeline",
     "series_chart",
     "size_profile_chart",

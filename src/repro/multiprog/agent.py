@@ -123,12 +123,19 @@ class AgentRuntime:
         # Reserve the slot immediately (so the agent cannot decide to leave
         # mid-dispatch), then pay the slot preparation: sandbox dir,
         # environment, priority plumbing.
+        tr = self.env.tracer
+        span = tr.begin("vm_acquire", job=label, site=self.node.site,
+                        agent=self.agent_id, vm=kind.value) \
+            if tr is not None else None
         slot.occupy(label, self.env.now)
         self.jobs_dispatched += 1
         yield self.env.timeout(self.rng.jitter(
             f"{self.agent_id}/slot-setup", self.costs.agent_slot_setup, 0.12))
         ticket = AgentJobTicket(label, kind, self.env.event(),
                                 self.env.event(), self.node.name)
+        if tr is not None:
+            tr.end(span)
+            tr.count("vm_dispatches", job=label, site=self.node.site)
 
         def job_runner() -> Generator:
             proc = self.node.execute(behavior, label, interactive=interactive,
@@ -158,6 +165,9 @@ class AgentRuntime:
         if self._batch_done and self.batch_free and self.interactive_free \
                 and not self.leave.triggered:
             self.leave.succeed(self.env.now)
+            tr = self.env.tracer
+            if tr is not None:
+                tr.count("agents_left", site=self.node.site)
 
     def kill(self, cause: str = "killed") -> None:
         """The local scheduler (or a node crash) killed the agent.
@@ -169,6 +179,11 @@ class AgentRuntime:
         """
         if not self.dead.triggered:
             self.dead.succeed(cause)
+        tr = self.env.tracer
+        if tr is not None:
+            tr.count("agents_killed", site=self.node.site)
+            tr.event("agent_killed", agent=self.agent_id, cause=cause,
+                     guests=len(self._guests))
         if self.server is not None:
             self.server.close()
         from ..grid.errors import AgentDeadError

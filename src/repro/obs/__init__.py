@@ -1,0 +1,21 @@
+"""Observability substrate: span tracing, counters, bounded event rings.
+
+``repro.obs`` is a side library (like ``repro.metrics``) usable from any
+layer.  The instrumented layers — broker, streaming, multiprogramming —
+never import it; they only read the ``Environment.tracer`` hook, which is
+``None`` unless a :class:`Tracer` has been installed.  That keeps tracing
+strictly opt-in and zero-cost for untraced runs.
+
+Typical use::
+
+    from repro.obs import Tracer
+
+    tracer = Tracer(env).install()     # sets env.tracer
+    ... run the simulation ...
+    from repro.metrics import phase_breakdown_table
+    print(phase_breakdown_table(tracer).render())
+"""
+
+from .tracer import PHASES, PhaseStats, Span, TraceEvent, Tracer
+
+__all__ = ["PHASES", "PhaseStats", "Span", "TraceEvent", "Tracer"]

@@ -25,6 +25,11 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_proc: Optional[Process] = None
+        #: Observability hook (see :mod:`repro.obs`).  ``None`` by default;
+        #: instrumented layers read this attribute and skip all span and
+        #: counter bookkeeping when unset, so tracing has no cost — not
+        #: even an allocation — unless a tracer is installed.
+        self.tracer: Optional[Any] = None
 
     # -- introspection ---------------------------------------------------
     @property

@@ -87,6 +87,10 @@ class Event:
     # -- triggering -----------------------------------------------------
     def trigger(self, event: "Event") -> None:
         """Trigger with the state of another event (callback chaining)."""
+        if self.triggered:
+            # Same guard as succeed()/fail(): re-triggering would schedule
+            # the event a second time and silently overwrite its value.
+            raise SimulationError(f"{self!r} has already been triggered")
         self._ok = event._ok
         self._value = event._value
         self.env.schedule(self)
@@ -254,6 +258,14 @@ class Condition(Event):
 
     def _check(self, event: Event) -> None:
         if self.triggered:
+            if not event._ok and not event._defused:
+                # The condition's outcome is already decided, but a member
+                # that lost the race may still fail afterwards (e.g. an
+                # AnyOf whose winner was pre-triggered at construction, so
+                # the loser kept this callback).  Acknowledge the failure,
+                # otherwise Environment.step() re-raises it and crashes the
+                # whole run.
+                event.defuse()
             return
         self._count += 1
         if not event._ok:

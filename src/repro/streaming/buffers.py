@@ -71,7 +71,14 @@ class StreamBuffer:
             remaining -= take
             self._flush("full")
             if self._dirty_since is None and remaining > 0:
+                # The "full" flush reset the dirty clock; the residual tail
+                # (smaller than a line) starts a fresh timeout window.  The
+                # timer must also be re-armed here: if it is parked on the
+                # wakeup event, the residual would otherwise sit stranded
+                # past flush_timeout with nothing scheduled to flush it.
                 self._dirty_since = self.env.now
+                if not self._wakeup.triggered:
+                    self._wakeup.succeed()
         if remaining > 0 or (nbytes == 0 and first):
             self._data.append(data if first else "")
             self._nbytes += remaining
@@ -108,6 +115,9 @@ class StreamBuffer:
         self._eol_pending = False
         self._dirty_since = None
         self.flush_counts[reason] += 1
+        tr = self.env.tracer
+        if tr is not None:
+            tr.count(f"flush_{reason}")
         self.outbox.put(chunk)
 
     def _timer_loop(self) -> Generator:

@@ -54,6 +54,12 @@ class ChunkSender:
         self._conn_ready = env.event()
         self._stopped = False
         self.dead = False
+        #: True while a chunk popped from the outbox has not been fully
+        #: delivered (or dropped/spooled) yet.  Without this, ``idle``
+        #: reports True for a fast-mode chunk that is mid-``send`` — it is
+        #: in neither the outbox nor the spool — and EOF teardown strands
+        #: the tail of the stream.
+        self._in_flight = False
         self._proc = env.process(self._run(), name=name)
 
     # -- wiring ---------------------------------------------------------
@@ -70,7 +76,8 @@ class ChunkSender:
     def idle(self) -> bool:
         """True when everything handed to the sender has been delivered."""
         spool_empty = self.spool is None or self.spool.empty
-        return len(self.outbox.items) == 0 and spool_empty
+        return not self._in_flight and len(self.outbox.items) == 0 \
+            and spool_empty
 
     # -- the drain loop ------------------------------------------------------
     def _run(self) -> Generator:
@@ -80,14 +87,22 @@ class ChunkSender:
             if chunk is None:  # sentinel for orderly shutdown
                 return
             assert isinstance(chunk, StreamChunk)
-            if self.mode is StreamingMode.RELIABLE:
-                assert self.spool is not None
-                yield from self.spool.write(chunk)
-                ok = yield from self._send_reliable()
-                if not ok:
-                    return
-            else:
-                yield from self._send_fast(chunk)
+            self._in_flight = True
+            try:
+                if self.mode is StreamingMode.RELIABLE:
+                    assert self.spool is not None
+                    yield from self.spool.write(chunk)
+                    tr = self.env.tracer
+                    if tr is not None:
+                        tr.event("spool", sender=self.name,
+                                 depth=len(self.spool))
+                    ok = yield from self._send_reliable()
+                    if not ok:
+                        return
+                else:
+                    yield from self._send_fast(chunk)
+            finally:
+                self._in_flight = False
 
     def _wire_size(self, chunk: StreamChunk) -> int:
         return chunk.nbytes + FRAME_OVERHEAD
@@ -106,14 +121,24 @@ class ChunkSender:
                 0.0, self.costs.fast_wan_jitter * latency))
             if burst > 0:
                 yield self.env.timeout(burst)
+        tr = self.env.tracer
+        span = tr.begin("stream_chunk", site=None,
+                        nbytes=chunk.nbytes) if tr is not None else None
         try:
             yield from self._conn.send(chunk, self._wire_size(chunk))
             self.stats.sent += 1
             self.stats.bytes_sent += chunk.nbytes
+            if tr is not None:
+                tr.end(span)
+                tr.count("chunks_sent")
         except NetworkError:
             # §3: "data may be lost in case of network failure".
             self.stats.dropped += 1
             self.stats.bytes_dropped += chunk.nbytes
+            if tr is not None:
+                tr.end(span, status="dropped")
+                tr.count("chunks_dropped")
+                tr.event("drop", sender=self.name, nbytes=chunk.nbytes)
 
     def _send_reliable(self) -> Generator:
         """Drain the spool head-first with retry/reconnect semantics."""
@@ -121,11 +146,19 @@ class ChunkSender:
         failures = 0
         while not self.spool.empty:
             chunk = yield from self.spool.read_head()
+            tr = self.env.tracer
+            span = tr.begin("stream_chunk", site=None,
+                            nbytes=chunk.nbytes) if tr is not None else None
             try:
                 yield from self._conn.send(chunk, self._wire_size(chunk))
             except NetworkError:
                 failures += 1
                 self.stats.retries += 1
+                if tr is not None:
+                    tr.end(span, status="retry")
+                    tr.count("retries")
+                    tr.event("retry", sender=self.name, failures=failures,
+                             spool_depth=len(self.spool))
                 if failures >= self.costs.max_retries:
                     self._fatal(
                         f"gave up after {failures} retries "
@@ -134,15 +167,25 @@ class ChunkSender:
                 interval = self.rng.jitter(f"{self.name}/retry",
                                            self.costs.retry_interval, 0.05)
                 self.stats.reconnect_waits += interval
+                wait = tr.begin("reconnect") if tr is not None else None
                 yield self.env.timeout(interval)
+                if tr is not None:
+                    tr.end(wait)
                 continue
             failures = 0
             self.spool.commit_head()
             self.stats.sent += 1
             self.stats.bytes_sent += chunk.nbytes
+            if tr is not None:
+                tr.end(span)
+                tr.count("chunks_sent")
         return True
 
     def _fatal(self, reason: str) -> None:
         self.dead = True
+        tr = self.env.tracer
+        if tr is not None:
+            tr.count("sender_fatal")
+            tr.event("sender_fatal", sender=self.name, reason=reason)
         if self.on_fatal is not None:
             self.on_fatal(f"{self.name}: {reason}")

@@ -1,0 +1,235 @@
+"""Tests for the span-based tracing layer (repro.obs) and its exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.grid import campus_grid
+from repro.jdl import StreamingMode
+from repro.metrics import (
+    counters_table,
+    job_breakdown_table,
+    phase_breakdown_table,
+    write_trace_csv,
+    write_trace_json,
+)
+from repro.obs import PHASES, PhaseStats, Tracer
+from repro.sim import Environment
+
+
+class TestSpans:
+    def test_begin_end_records_elapsed(self, env):
+        tr = Tracer(env)
+        span = tr.begin("submit", job="j1")
+        env.run(until=env.timeout(2.5))
+        tr.end(span)
+        assert span.elapsed == pytest.approx(2.5)
+        assert span.status == "ok"
+        assert tr.phase_stats()["submit"].count == 1
+
+    def test_per_job_nesting(self, env):
+        tr = Tracer(env)
+        outer = tr.begin("submit", job="j1")
+        inner = tr.begin("gram_submit", job="j1", site="uab")
+        stranger = tr.begin("submit", job="j2")
+        jobless = tr.begin("stream_chunk")
+        assert inner.parent is outer and inner.depth == 1
+        assert stranger.parent is None  # different job: no nesting
+        assert jobless.parent is None  # job-less spans never nest
+        for s in (jobless, stranger, inner, outer):
+            tr.end(s)
+        assert not tr.open_spans()
+
+    def test_end_is_idempotent(self, env):
+        tr = Tracer(env)
+        span = tr.begin("match", job="j1")
+        tr.end(span)
+        env.run(until=env.timeout(1.0))
+        tr.end(span, status="error")  # no-op: already closed
+        assert span.status == "ok"
+        assert tr.phase_stats()["match"].count == 1
+
+    def test_error_status_counts_as_error(self, env):
+        tr = Tracer(env)
+        tr.end(tr.begin("gram_submit", job="j"), status="error")
+        tr.end(tr.begin("gram_submit", job="j"), status="queued-timeout")
+        tr.end(tr.begin("gram_submit", job="j"))
+        agg = tr.phase_stats()["gram_submit"]
+        assert agg.count == 3 and agg.errors == 2
+
+    def test_span_context_manager_marks_errors(self, env):
+        tr = Tracer(env)
+        with pytest.raises(ValueError):
+            with tr.span("output_retrieval", job="j1"):
+                raise ValueError("boom")
+        assert tr.spans[-1].status == "error"
+        assert tr.phase_stats()["output_retrieval"].errors == 1
+
+    def test_max_spans_bounds_retention_not_aggregates(self, env):
+        tr = Tracer(env, max_spans=3)
+        for _ in range(5):
+            tr.end(tr.begin("match"))
+        assert len(tr.spans) == 3
+        assert tr.dropped_spans == 2
+        assert tr.phase_stats()["match"].count == 5  # aggregates stay exact
+
+    def test_job_breakdown_accumulates(self, env):
+        tr = Tracer(env)
+        s1 = tr.begin("match", job="j1")
+        env.run(until=env.timeout(1.0))
+        tr.end(s1)
+        s2 = tr.begin("match", job="j1")
+        env.run(until=env.timeout(2.0))
+        tr.end(s2)
+        assert tr.job_breakdown("j1")["match"] == pytest.approx(3.0)
+        assert tr.jobs() == ["j1"]
+
+
+class TestCountersAndEvents:
+    def test_counters_global_job_site(self, env):
+        tr = Tracer(env)
+        tr.count("retries", job="j1", site="uab")
+        tr.count("retries", n=2, job="j1")
+        tr.count("drops", site="uab")
+        assert tr.counters == {"retries": 3, "drops": 1}
+        assert tr.job_counters["j1"] == {"retries": 3}
+        assert tr.site_counters["uab"] == {"retries": 1, "drops": 1}
+
+    def test_event_ring_is_bounded(self, env):
+        tr = Tracer(env, ring_size=4)
+        for i in range(6):
+            tr.event("tick", i=i)
+        assert len(tr.events) == 4
+        assert [e.data["i"] for e in tr.events] == [2, 3, 4, 5]
+
+    def test_phase_stats_percentiles(self):
+        stats = PhaseStats("x", window=100)
+        for v in range(1, 101):
+            stats.add(float(v), ok=True)
+        assert stats.percentile(50) == pytest.approx(50.5)
+        assert stats.percentile(0) == 1.0
+        assert stats.percentile(100) == 100.0
+        assert stats.mean == pytest.approx(50.5)
+
+
+class TestInstallAndOrdering:
+    def test_environment_hook_defaults_to_none(self):
+        assert Environment().tracer is None
+
+    def test_install_uninstall(self, env):
+        tr = Tracer(env).install()
+        assert env.tracer is tr
+        tr.uninstall()
+        assert env.tracer is None
+        # Uninstalling someone else's tracer is a no-op.
+        other = Tracer(env).install()
+        tr.uninstall()
+        assert env.tracer is other
+
+    def test_phase_stats_canonical_order_first(self, env):
+        tr = Tracer(env)
+        tr.end(tr.begin("custom_phase"))
+        tr.end(tr.begin("match"))
+        tr.end(tr.begin("submit"))
+        names = list(tr.phase_stats())
+        assert names == ["submit", "match", "custom_phase"]
+        assert set(PHASES) >= {"submit", "match", "gram_submit"}
+
+
+class TestExporters:
+    def _traced(self, env):
+        tr = Tracer(env)
+        span = tr.begin("submit", job="j1")
+        inner = tr.begin("gram_submit", job="j1", site="uab")
+        env.run(until=env.timeout(1.5))
+        tr.end(inner)
+        tr.end(span)
+        tr.count("chunks_sent", n=3, job="j1")
+        tr.event("drop", sender="s", nbytes=10)
+        return tr
+
+    def test_tables_render(self, env):
+        tr = self._traced(env)
+        text = phase_breakdown_table(tr).render()
+        assert "submit" in text and "gram_submit" in text
+        assert "p95 (s)" in text
+        text = counters_table(tr).render()
+        assert "chunks_sent" in text
+        text = job_breakdown_table(tr).render()
+        assert "j1" in text
+
+    def test_json_roundtrip(self, env, tmp_path):
+        tr = self._traced(env)
+        path = tmp_path / "trace.json"
+        write_trace_json(tr, str(path), extra={"method": "idle"})
+        data = json.loads(path.read_text())
+        assert data["run"] == {"method": "idle"}
+        assert data["phases"]["submit"]["count"] == 1
+        assert data["counters"] == {"chunks_sent": 3}
+        assert len(data["spans"]) == 2
+        assert data["events"][0]["kind"] == "drop"
+        # to_dict must always be JSON-serialisable.
+        json.dumps(tr.to_dict(), default=str)
+
+    def test_csv_export(self, env, tmp_path):
+        tr = self._traced(env)
+        path = tmp_path / "spans.csv"
+        assert write_trace_csv(tr, str(path)) == 2
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("name,job,site,start")
+        assert len(lines) == 3
+        assert lines[1].split(",")[0] == "gram_submit"  # end order
+
+
+class TestTracedStreaming:
+    def test_session_run_populates_stream_counters(self):
+        from repro.streaming import InteractiveSession
+
+        tb = campus_grid(seed=41, n_nodes=1)
+        env = tb.env
+        tracer = Tracer(env).install()
+        session = InteractiveSession(env, tb.network, tb.rng,
+                                     tb.calibration.streaming, "ui",
+                                     StreamingMode.FAST, n_subjobs=1)
+        node = tb.site("uab").nodes[0]
+
+        def app(ctx):
+            for i in range(5):
+                yield from ctx.io(0.2)
+                yield from ctx.stdio.write(f"line {i}", eol=True)
+            yield from ctx.stdio.eof()
+
+        node.acquire("t")
+        proc = node.execute(app, "app", interactive=True,
+                            setup=session.make_setup(node.name, 0))
+        env.run(until=proc)
+        env.run(until=env.now + 2)
+        assert tracer.counters["flush_eol"] == 5
+        assert tracer.counters["chunks_sent"] >= 5
+        chunks = tracer.spans_of("stream_chunk")
+        assert len(chunks) >= 5
+        assert all(s.status == "ok" for s in chunks)
+
+
+class TestTraceRunner:
+    def test_traced_idle_method_breaks_down_phases(self):
+        from repro.experiments.trace_run import run_traced_method
+
+        tracer = run_traced_method("idle", jobs=1, n_sites=4)
+        stats = tracer.phase_stats()
+        for phase in ("submit", "match", "gram_submit"):
+            assert stats[phase].count >= 1, phase
+        # The phases nest inside submit, so their sum is bounded by it.
+        job = tracer.jobs()[0]
+        breakdown = tracer.job_breakdown(job)
+        assert breakdown["match"] + breakdown["gram_submit"] \
+            <= breakdown["submit"] + 1e-9
+        assert not tracer.open_spans()
+
+    def test_unknown_method_rejected(self):
+        from repro.experiments.trace_run import run_traced_method
+
+        with pytest.raises(ValueError):
+            run_traced_method("glogin")
