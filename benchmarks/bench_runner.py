@@ -1,0 +1,34 @@
+"""Engine benchmarks: sharded execution overhead and the cache fast path.
+
+Two properties worth tracking over time:
+
+* the runner's bookkeeping (planning, hashing, merging) is negligible
+  next to the simulation itself;
+* a fully cached run skips every simulation and is dominated by pickle
+  loads — this is the "re-runs only simulate missing cells" promise.
+"""
+
+from repro.experiments.table1 import Table1Config
+from repro.runner import ResultCache, run_experiment
+
+
+def _config() -> Table1Config:
+    return Table1Config(jobs_per_method=4, n_sites=3, scenarios=("campus",))
+
+
+def test_bench_runner_serial(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table1", _config()),
+        rounds=1, iterations=1)
+    assert result.data["runner"].cells_computed == 4
+
+
+def test_bench_runner_cache_hit(benchmark, tmp_path):
+    cache = ResultCache(str(tmp_path))
+    run_experiment("table1", _config(), cache=cache)  # populate
+
+    result = benchmark.pedantic(
+        lambda: run_experiment("table1", _config(), cache=cache),
+        rounds=3, iterations=1)
+    assert result.data["runner"].cells_computed == 0
+    assert result.data["runner"].cells_cached == 4

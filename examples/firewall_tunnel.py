@@ -11,7 +11,7 @@ Console over those two outbound connections.
 Run:  python examples/firewall_tunnel.py
 """
 
-from repro.grid import campus_grid
+from repro import Scenario
 from repro.jdl import StreamingMode
 from repro.net import RelayService, TunnelEndpoint
 from repro.streaming import InteractiveSession
@@ -19,9 +19,12 @@ from repro.workloads import interactive_console_app
 
 
 def main() -> None:
-    testbed = campus_grid(seed=13, n_nodes=1)
-    env = testbed.env
-    node = testbed.site("uab").nodes[0]
+    # No broker/MDS in this demo, so skip the index publish.
+    handle = Scenario(sites=1, scenario="campus", nodes_per_site=1,
+                      seed=13, publish=False).build()
+    testbed = handle.testbed
+    env = handle.env
+    node = handle.node()
 
     relay = RelayService(env, testbed.network, "broker")
     print("relay service on broker:2813 (the only open port anywhere)")

@@ -11,8 +11,7 @@ Run:  python examples/grid_day_in_the_life.py
 
 from collections import Counter
 
-from repro.core import CrossBroker
-from repro.grid import europe_testbed
+from repro import Scenario
 from repro.jdl import JobCategory
 from repro.metrics import Series, render_timeline
 from repro.sim import RandomStreams
@@ -26,10 +25,10 @@ from repro.workloads import (
 
 
 def main() -> None:
-    testbed = europe_testbed(seed=2026, n_sites=4, nodes_per_site=3)
-    testbed.publish_all_now()
-    broker = CrossBroker(testbed.env, testbed.network, testbed.rng,
-                         testbed.calibration)
+    handle = Scenario(sites=4, scenario="europe", nodes_per_site=3,
+                      seed=2026).build()
+    testbed = handle.testbed
+    broker = handle.broker
 
     config = MixConfig(horizon=2400.0, batch_interarrival=350.0,
                        interactive_interarrival=200.0,

@@ -10,21 +10,23 @@ steers the running simulation.
 Run:  python examples/interactive_mpi_steering.py
 """
 
-from repro.calibration import CAMPUS, WAN
-from repro.core import CrossBroker
-from repro.grid import SiteConfig, base_world
+from repro import Scenario
+from repro.calibration import WAN
+from repro.grid import SiteConfig
 from repro.jdl import JobDescription
 from repro.workloads import steerable_simulation
 
 
 def main() -> None:
-    testbed = base_world(seed=11)
-    testbed.add_site(SiteConfig("uab", n_nodes=1), CAMPUS)
-    testbed.add_site(SiteConfig("ifca", n_nodes=1), WAN)
-    testbed.publish_all_now()
-    env = testbed.env
-    broker = CrossBroker(env, testbed.network, testbed.rng,
-                         testbed.calibration)
+    # Scenario gives us the campus world (uab); the wide-area execution
+    # site is grafted on before the index is published — the builder's
+    # worlds stay ordinary Testbeds, open to extension.
+    handle = Scenario(sites=1, scenario="campus", nodes_per_site=1,
+                      seed=11, publish=False).build()
+    handle.testbed.add_site(SiteConfig("ifca", n_nodes=1), WAN)
+    handle.publish_all_now()
+    env = handle.env
+    broker = handle.broker
 
     job = JobDescription.from_jdl(
         """

@@ -11,18 +11,18 @@ while sharing.
 Run:  python examples/multiprogramming_demo.py
 """
 
-from repro.core import CrossBroker, SubmissionPath
-from repro.grid import campus_grid
+from repro import Scenario
+from repro.core import SubmissionPath
 from repro.jdl import JobDescription
 from repro.workloads import cpu_bound_app, progress_app
 
 
 def main() -> None:
-    testbed = campus_grid(seed=3, n_nodes=1)   # ONE machine in the grid
-    testbed.publish_all_now()
-    env = testbed.env
-    broker = CrossBroker(env, testbed.network, testbed.rng,
-                         testbed.calibration)
+    # ONE machine in the grid.
+    handle = Scenario(sites=1, scenario="campus", nodes_per_site=1,
+                      seed=3).build()
+    env = handle.env
+    broker = handle.broker
 
     batch = JobDescription.from_jdl('Executable = "hours_of_physics";',
                                     owner="bob")

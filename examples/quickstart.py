@@ -1,25 +1,24 @@
 #!/usr/bin/env python
 """Quickstart: submit an interactive job through the CrossBroker.
 
-Builds a one-site campus grid, submits an interactive job described in
-JDL (paper Figure 2 syntax), and prints the Table-I-style timing
-decomposition plus the job's console output.
+Builds a one-site campus grid through the :class:`repro.Scenario`
+builder, submits an interactive job described in JDL (paper Figure 2
+syntax), and prints the Table-I-style timing decomposition plus the
+job's console output.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import CrossBroker
-from repro.grid import campus_grid
+from repro import Scenario
 from repro.jdl import JobDescription
 from repro.workloads import progress_app
 
 
 def main() -> None:
-    # A world: campus network, one site with 4 worker nodes, MDS index.
-    testbed = campus_grid(seed=7, n_nodes=4)
-    testbed.publish_all_now()
-    broker = CrossBroker(testbed.env, testbed.network, testbed.rng,
-                         testbed.calibration)
+    # A world: campus network, one site with 4 worker nodes, MDS index —
+    # one declarative call instead of hand-wiring testbed + broker.
+    handle = Scenario(sites=1, scenario="campus", nodes_per_site=4,
+                      seed=7).build()
 
     job = JobDescription.from_jdl(
         """
@@ -33,8 +32,8 @@ def main() -> None:
         """,
         owner="alice")
 
-    submitted = broker.submit(job, lambda rank: progress_app(5, 1.0))
-    testbed.env.run(until=submitted.finished)
+    submitted = handle.submit(job, lambda rank: progress_app(5, 1.0))
+    handle.run(until=submitted.finished)
 
     report = submitted.report
     print(f"job {report.job_id} ran on {report.sites} "

@@ -15,7 +15,7 @@ timestamps.
 Run:  python examples/reliable_streaming_over_failures.py
 """
 
-from repro.grid import campus_grid
+from repro import Scenario
 from repro.jdl import StreamingMode
 from repro.streaming import InteractiveSession
 
@@ -30,10 +30,13 @@ def ticker(ctx):
 
 
 def main() -> None:
-    testbed = campus_grid(seed=5, n_nodes=1)
-    env = testbed.env
-    site = testbed.site("uab")
-    node = site.nodes[0]
+    # No broker/MDS in this demo, so skip the index publish.
+    handle = Scenario(sites=1, scenario="campus", nodes_per_site=1,
+                      seed=5, publish=False).build()
+    testbed = handle.testbed
+    env = handle.env
+    site = handle.site()
+    node = handle.node()
 
     # Two failure windows on the site uplink.
     testbed.network.inject_outage("core", site.gatekeeper_host, 2.0, 3.0)

@@ -10,24 +10,20 @@ per-phase breakdown table decomposes the Table-I-style response time.
 Run:  python examples/traced_quickstart.py
 """
 
-from repro.core import CrossBroker
-from repro.grid import campus_grid
+from repro import Scenario
 from repro.jdl import JobDescription
 from repro.metrics import counters_table, phase_breakdown_table
-from repro.obs import Tracer
 from repro.workloads import progress_app
 
 
 def main() -> None:
-    testbed = campus_grid(seed=7, n_nodes=4)
-    testbed.publish_all_now()
+    # The one extra flag versus quickstart.py: trace=True attaches a
+    # Tracer to the environment's (otherwise zero-cost) observability hook.
+    handle = Scenario(sites=1, scenario="campus", nodes_per_site=4,
+                      seed=7, trace=True).build()
+    tracer = handle.tracer
+    assert tracer is not None
 
-    # The one extra line versus quickstart.py: attach a tracer to the
-    # environment's (otherwise zero-cost) observability hook.
-    tracer = Tracer(testbed.env).install()
-
-    broker = CrossBroker(testbed.env, testbed.network, testbed.rng,
-                         testbed.calibration)
     job = JobDescription.from_jdl(
         """
         Executable    = "simulation";
@@ -39,8 +35,8 @@ def main() -> None:
         """,
         owner="alice")
 
-    submitted = broker.submit(job, lambda rank: progress_app(5, 1.0))
-    testbed.env.run(until=submitted.finished)
+    submitted = handle.submit(job, lambda rank: progress_app(5, 1.0))
+    handle.run(until=submitted.finished)
 
     report = submitted.report
     print(f"job {report.job_id}: response time "

@@ -35,11 +35,14 @@ True
 """
 
 from .calibration import Calibration, DEFAULT_CALIBRATION
+from .scenario import Scenario, ScenarioHandle
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Calibration",
     "DEFAULT_CALIBRATION",
+    "Scenario",
+    "ScenarioHandle",
     "__version__",
 ]

@@ -1,0 +1,15 @@
+"""``python -m repro`` — alias for the experiment CLI.
+
+Dispatches straight to :mod:`repro.experiments.cli`, so
+``python -m repro run table1 --quick --parallel 4`` and
+``repro run ...`` (console script) behave identically.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

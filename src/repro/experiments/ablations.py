@@ -4,6 +4,11 @@ Each ablation isolates one mechanism and sweeps the knob the paper either
 fixes (buffer size, retry interval), sweeps narrowly (PerformanceLoss 10
 and 25), or defers to future work (degree of multiprogramming, priority
 half-life).
+
+Every sweep is decomposed into runner cells (one knob value per cell) so
+the sharded engine can fan sweep points out across processes and cache
+them individually; the ``run_*`` entry points are thin serial
+plan/run/merge compositions kept for direct use.
 """
 
 from __future__ import annotations
@@ -13,23 +18,30 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 from ..baselines import InterpositionMechanism
 from ..calibration import Calibration, DEFAULT_CALIBRATION
-from ..grid import campus_grid
 from ..jdl import StreamingMode
 from ..metrics import AsciiTable, Series
 from ..multiprog import AgentRuntime
+from ..runner.spec import CellKey, ExperimentSpec, register
+from ..scenario import Scenario
 from ..sim import Environment, RandomStreams
 from ..streaming import InteractiveSession
 from ..core.fairshare import FairShareAccounting, af_batch
 from ..workloads import cpu_hog, make_loop_app, run_sequences
-from .common import ExperimentResult
+from .common import ConfigCodec, ExperimentResult
 from .fig8 import _direct_ctx
+
+
+def _campus(seed: int, calibration: Calibration):
+    """One-node campus world (the ablation substrate)."""
+    return Scenario(sites=1, scenario="campus", nodes_per_site=1,
+                    seed=seed, calibration=calibration).build()
 
 
 # ---------------------------------------------------------------------------
 # Ablation 1: CA/CS buffer size (explains the Fig. 6 10 KB crossover)
 # ---------------------------------------------------------------------------
 @dataclass
-class BufferSweepConfig:
+class BufferSweepConfig(ConfigCodec):
     buffer_sizes: Tuple[int, ...] = (2048, 8192, 65536)
     payload: int = 10000
     sequences: int = 200
@@ -37,8 +49,32 @@ class BufferSweepConfig:
     calibration: Calibration = field(default_factory=lambda: DEFAULT_CALIBRATION)
 
 
-def run_buffer_sweep(config: Optional[BufferSweepConfig] = None) -> ExperimentResult:
-    config = config or BufferSweepConfig()
+def plan_buffer_cells(config: BufferSweepConfig) -> List[CellKey]:
+    return [(str(size),) for size in config.buffer_sizes]
+
+
+def run_buffer_cell(config: BufferSweepConfig, key: CellKey) -> Series:
+    size = int(key[0])
+    i = config.buffer_sizes.index(size)
+    calibration = config.calibration.with_streaming(buffer_size=size)
+    handle = _campus(config.seed + i, calibration)
+    node = handle.node()
+    mech = InterpositionMechanism(handle.env, handle.network, handle.rng,
+                                  "ui", node, calibration.streaming,
+                                  StreamingMode.RELIABLE)
+
+    def driver() -> Generator:
+        times = yield from run_sequences(mech, config.payload,
+                                         config.sequences)
+        return times
+
+    proc = handle.env.process(driver(), name=f"buf/{size}")
+    handle.env.run(until=proc)
+    return Series.of(f"buf{size}", proc.value)
+
+
+def merge_buffer_cells(config: BufferSweepConfig,
+                       payloads: Dict[CellKey, Series]) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="ablation-buffer",
         title="Reliable-mode round trip vs. CA/CS buffer size",
@@ -47,23 +83,8 @@ def run_buffer_sweep(config: Optional[BufferSweepConfig] = None) -> ExperimentRe
     table = AsciiTable(["buffer (B)", f"mean RTT at {config.payload} B (ms)"],
                        title="Buffer-size sweep (reliable mode)", precision=3)
     means: Dict[int, Series] = {}
-    for i, size in enumerate(config.buffer_sizes):
-        calibration = config.calibration.with_streaming(buffer_size=size)
-        tb = campus_grid(seed=config.seed + i, n_nodes=1,
-                         calibration=calibration)
-        node = tb.site("uab").nodes[0]
-        mech = InterpositionMechanism(tb.env, tb.network, tb.rng, "ui", node,
-                                      calibration.streaming,
-                                      StreamingMode.RELIABLE)
-
-        def driver() -> Generator:
-            times = yield from run_sequences(mech, config.payload,
-                                             config.sequences)
-            return times
-
-        proc = tb.env.process(driver(), name=f"buf/{size}")
-        tb.env.run(until=proc)
-        means[size] = Series.of(f"buf{size}", proc.value)
+    for size in config.buffer_sizes:
+        means[size] = payloads[(str(size),)]
         table.add_row(size, means[size].mean * 1e3)
     result.tables.append(table)
     result.data["series"] = means
@@ -77,11 +98,18 @@ def run_buffer_sweep(config: Optional[BufferSweepConfig] = None) -> ExperimentRe
     return result
 
 
+def run_buffer_sweep(config: Optional[BufferSweepConfig] = None) -> ExperimentResult:
+    config = config or BufferSweepConfig()
+    payloads = {key: run_buffer_cell(config, key)
+                for key in plan_buffer_cells(config)}
+    return merge_buffer_cells(config, payloads)
+
+
 # ---------------------------------------------------------------------------
 # Ablation 2: reliable-mode retry interval under injected outages
 # ---------------------------------------------------------------------------
 @dataclass
-class RetrySweepConfig:
+class RetrySweepConfig(ConfigCodec):
     retry_intervals: Tuple[float, ...] = (1.0, 5.0, 15.0)
     ticks: int = 30
     tick_period: float = 0.5
@@ -91,8 +119,62 @@ class RetrySweepConfig:
     calibration: Calibration = field(default_factory=lambda: DEFAULT_CALIBRATION)
 
 
-def run_retry_sweep(config: Optional[RetrySweepConfig] = None) -> ExperimentResult:
-    config = config or RetrySweepConfig()
+def plan_retry_cells(config: RetrySweepConfig) -> List[CellKey]:
+    return [(str(interval),) for interval in config.retry_intervals]
+
+
+def run_retry_cell(config: RetrySweepConfig,
+                   key: CellKey) -> Dict[str, object]:
+    interval = float(key[0])
+    i = config.retry_intervals.index(interval)
+    calibration = config.calibration.with_streaming(
+        retry_interval=interval, max_retries=1000)
+    handle = _campus(config.seed + i, calibration)
+    env = handle.env
+    site = handle.site()
+    node = site.nodes[0]
+    handle.network.inject_outage("core", site.gatekeeper_host,
+                                 config.outage_start, config.outage_duration)
+    session = InteractiveSession(env, handle.network, handle.rng,
+                                 calibration.streaming, "ui",
+                                 StreamingMode.RELIABLE)
+
+    def app(ctx) -> Generator:
+        for t in range(config.ticks):
+            yield from ctx.io(config.tick_period)
+            yield from ctx.stdio.write(f"tick{t}", nbytes=16, eol=True)
+        yield from ctx.stdio.eof()
+        return "done"
+
+    node.acquire("retry-ablation")
+    proc = node.execute(app, "ticker", interactive=True,
+                        setup=session.make_setup(node.name, 0))
+    session.watch(proc)
+
+    def reader() -> Generator:
+        got = []
+        recovery_at = None
+        for _ in range(config.ticks):
+            line = yield from session.read_line()
+            got.append(line.data)
+            if recovery_at is None and line.time >= config.outage_start:
+                recovery_at = line.time
+        return (got, recovery_at, env.now)
+
+    rproc = env.process(reader(), name=f"retry/{interval}")
+    env.run(until=rproc)
+    got, recovery_at, finished_at = rproc.value
+    ok = got == [f"tick{t}" for t in range(config.ticks)]
+    retries = session.agents[0].sender.stats.retries
+    outage_end = config.outage_start + config.outage_duration
+    # Recovery latency: first delivery after the link came back.
+    delivery = max((recovery_at or finished_at) - outage_end, 0.0)
+    return {"ok": ok, "lines": len(got), "delivery": delivery,
+            "retries": retries}
+
+
+def merge_retry_cells(config: RetrySweepConfig,
+                      payloads: Dict[CellKey, Dict[str, object]]) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="ablation-retry",
         title="Reliable-mode recovery vs. retry interval",
@@ -104,56 +186,15 @@ def run_retry_sweep(config: Optional[RetrySweepConfig] = None) -> ExperimentResu
         title=(f"{config.ticks} ticks through a "
                f"{config.outage_duration:.0f} s outage"))
     delivery: Dict[float, float] = {}
-    for i, interval in enumerate(config.retry_intervals):
-        calibration = config.calibration.with_streaming(
-            retry_interval=interval, max_retries=1000)
-        tb = campus_grid(seed=config.seed + i, n_nodes=1,
-                         calibration=calibration)
-        env = tb.env
-        site = tb.site("uab")
-        node = site.nodes[0]
-        tb.network.inject_outage("core", site.gatekeeper_host,
-                                 config.outage_start, config.outage_duration)
-        session = InteractiveSession(env, tb.network, tb.rng,
-                                     calibration.streaming, "ui",
-                                     StreamingMode.RELIABLE)
-
-        def app(ctx) -> Generator:
-            for t in range(config.ticks):
-                yield from ctx.io(config.tick_period)
-                yield from ctx.stdio.write(f"tick{t}", nbytes=16, eol=True)
-            yield from ctx.stdio.eof()
-            return "done"
-
-        node.acquire("retry-ablation")
-        proc = node.execute(app, "ticker", interactive=True,
-                            setup=session.make_setup(node.name, 0))
-        session.watch(proc)
-
-        def reader() -> Generator:
-            got = []
-            recovery_at = None
-            for _ in range(config.ticks):
-                line = yield from session.read_line()
-                got.append(line.data)
-                if recovery_at is None and line.time >= config.outage_start:
-                    recovery_at = line.time
-            return (got, recovery_at, env.now)
-
-        rproc = env.process(reader(), name=f"retry/{interval}")
-        env.run(until=rproc)
-        got, recovery_at, finished_at = rproc.value
-        ok = got == [f"tick{t}" for t in range(config.ticks)]
-        retries = session.agents[0].sender.stats.retries
-        outage_end = config.outage_start + config.outage_duration
-        # Recovery latency: first delivery after the link came back.
-        delivery[interval] = max((recovery_at or finished_at) - outage_end,
-                                 0.0)
+    for interval in config.retry_intervals:
+        cell = payloads[(str(interval),)]
+        ok = bool(cell["ok"])
+        delivery[interval] = float(cell["delivery"])  # type: ignore[arg-type]
         table.add_row(interval, "yes" if ok else "NO", delivery[interval],
-                      retries)
+                      cell["retries"])
         result.check(
             f"retry interval {interval:g}s: every tick delivered in order",
-            ok, f"{len(got)}/{config.ticks} lines")
+            ok, f"{cell['lines']}/{config.ticks} lines")
     result.tables.append(table)
     result.data["delivery"] = delivery
 
@@ -166,20 +207,59 @@ def run_retry_sweep(config: Optional[RetrySweepConfig] = None) -> ExperimentResu
     return result
 
 
+def run_retry_sweep(config: Optional[RetrySweepConfig] = None) -> ExperimentResult:
+    config = config or RetrySweepConfig()
+    payloads = {key: run_retry_cell(config, key)
+                for key in plan_retry_cells(config)}
+    return merge_retry_cells(config, payloads)
+
+
 # ---------------------------------------------------------------------------
 # Ablation 3: PerformanceLoss sweep (generalises Fig. 8's two points)
 # ---------------------------------------------------------------------------
 @dataclass
-class PerformanceLossSweepConfig:
+class PerformanceLossSweepConfig(ConfigCodec):
     losses: Tuple[int, ...] = (0, 5, 10, 25, 50)
     iterations: int = 300
     seed: int = 12
     calibration: Calibration = field(default_factory=lambda: DEFAULT_CALIBRATION)
 
 
-def run_performance_loss_sweep(
-        config: Optional[PerformanceLossSweepConfig] = None) -> ExperimentResult:
-    config = config or PerformanceLossSweepConfig()
+def plan_pl_cells(config: PerformanceLossSweepConfig) -> List[CellKey]:
+    return [(str(pl),) for pl in config.losses]
+
+
+def run_pl_cell(config: PerformanceLossSweepConfig, key: CellKey) -> float:
+    pl = int(key[0])
+    i = config.losses.index(pl)
+    profile = replace(config.calibration.loop_app,
+                      iterations=config.iterations)
+    handle = _campus(config.seed + i, config.calibration)
+    env = handle.env
+    tb = handle.testbed
+    node = handle.node()
+    runtime = AgentRuntime(env, handle.network, handle.rng, node,
+                           config.calibration.middleware)
+    node.acquire(runtime.agent_id)
+
+    def driver() -> Generator:
+        env.process(runtime.behavior()(_direct_ctx(env, tb, node)),
+                    name="pl/agent")
+        yield runtime.ready
+        bt = yield from runtime.run_job("hog", cpu_hog(), False, 0)
+        yield bt.started
+        it = yield from runtime.run_job("loop", make_loop_app(profile),
+                                        True, pl)
+        samples = yield it.finished
+        return samples
+
+    proc = env.process(driver(), name=f"pl/{pl}")
+    env.run(until=proc)
+    return Series.of("cpu", [s.cpu_elapsed for s in proc.value]).mean
+
+
+def merge_pl_cells(config: PerformanceLossSweepConfig,
+                   payloads: Dict[CellKey, float]) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="ablation-pl",
         title="Measured CPU loss vs. PerformanceLoss attribute",
@@ -192,29 +272,8 @@ def run_performance_loss_sweep(
                        title="PerformanceLoss sweep (batch hog co-located)")
     measured: Dict[int, float] = {}
     reference: Optional[float] = None
-    for i, pl in enumerate(config.losses):
-        tb = campus_grid(seed=config.seed + i, n_nodes=1,
-                         calibration=config.calibration)
-        env = tb.env
-        node = tb.site("uab").nodes[0]
-        runtime = AgentRuntime(env, tb.network, tb.rng, node,
-                               config.calibration.middleware)
-        node.acquire(runtime.agent_id)
-
-        def driver() -> Generator:
-            env.process(runtime.behavior()(_direct_ctx(env, tb, node)),
-                        name="pl/agent")
-            yield runtime.ready
-            bt = yield from runtime.run_job("hog", cpu_hog(), False, 0)
-            yield bt.started
-            it = yield from runtime.run_job("loop", make_loop_app(profile),
-                                            True, pl)
-            samples = yield it.finished
-            return samples
-
-        proc = env.process(driver(), name=f"pl/{pl}")
-        env.run(until=proc)
-        cpu_mean = Series.of("cpu", [s.cpu_elapsed for s in proc.value]).mean
+    for pl in config.losses:
+        cpu_mean = payloads[(str(pl),)]
         if pl == 0:
             reference = cpu_mean
         base = reference if reference is not None else profile.cpu_burst
@@ -237,57 +296,75 @@ def run_performance_loss_sweep(
     return result
 
 
+def run_performance_loss_sweep(
+        config: Optional[PerformanceLossSweepConfig] = None) -> ExperimentResult:
+    config = config or PerformanceLossSweepConfig()
+    payloads = {key: run_pl_cell(config, key)
+                for key in plan_pl_cells(config)}
+    return merge_pl_cells(config, payloads)
+
+
 # ---------------------------------------------------------------------------
 # Ablation 4: degree of multiprogramming (§5.2 / §7 future work)
 # ---------------------------------------------------------------------------
 @dataclass
-class DegreeSweepConfig:
+class DegreeSweepConfig(ConfigCodec):
     degrees: Tuple[int, ...] = (1, 2, 3)
     iterations: int = 120
     seed: int = 17
     calibration: Calibration = field(default_factory=lambda: DEFAULT_CALIBRATION)
 
 
-def run_degree_sweep(config: Optional[DegreeSweepConfig] = None) -> ExperimentResult:
-    config = config or DegreeSweepConfig()
+def plan_degree_cells(config: DegreeSweepConfig) -> List[CellKey]:
+    return [(str(degree),) for degree in config.degrees]
+
+
+def run_degree_cell(config: DegreeSweepConfig, key: CellKey) -> float:
+    degree = int(key[0])
+    i = config.degrees.index(degree)
+    profile = replace(config.calibration.loop_app,
+                      iterations=config.iterations)
+    handle = _campus(config.seed + i, config.calibration)
+    env = handle.env
+    tb = handle.testbed
+    node = handle.node()
+    runtime = AgentRuntime(env, handle.network, handle.rng, node,
+                           config.calibration.middleware,
+                           interactive_slots=degree)
+    node.acquire(runtime.agent_id)
+
+    def driver() -> Generator:
+        env.process(runtime.behavior()(_direct_ctx(env, tb, node)),
+                    name="deg/agent")
+        yield runtime.ready
+        tickets = []
+        for k in range(degree):
+            t = yield from runtime.run_job(f"loop{k}",
+                                           make_loop_app(profile),
+                                           True, 10)
+            tickets.append(t)
+        first = yield tickets[0].finished
+        return first
+
+    proc = env.process(driver(), name=f"deg/{degree}")
+    env.run(until=proc)
+    return Series.of("cpu", [s.cpu_elapsed for s in proc.value]).mean
+
+
+def merge_degree_cells(config: DegreeSweepConfig,
+                       payloads: Dict[CellKey, float]) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="ablation-degree",
         title="CPU burst stretch vs. number of co-resident interactive jobs",
         paper_reference="§5.2/§7: 'our multi-programming system could allow "
                         "a larger degree of multi-programming'")
-    profile = replace(config.calibration.loop_app,
-                      iterations=config.iterations)
     table = AsciiTable(["interactive jobs", "CPU burst mean (s)",
                         "stretch vs 1 job"],
                        title="Degree-of-multiprogramming sweep")
     stretch: Dict[int, float] = {}
     base: Optional[float] = None
-    for i, degree in enumerate(config.degrees):
-        tb = campus_grid(seed=config.seed + i, n_nodes=1,
-                         calibration=config.calibration)
-        env = tb.env
-        node = tb.site("uab").nodes[0]
-        runtime = AgentRuntime(env, tb.network, tb.rng, node,
-                               config.calibration.middleware,
-                               interactive_slots=degree)
-        node.acquire(runtime.agent_id)
-
-        def driver() -> Generator:
-            env.process(runtime.behavior()(_direct_ctx(env, tb, node)),
-                        name="deg/agent")
-            yield runtime.ready
-            tickets = []
-            for k in range(degree):
-                t = yield from runtime.run_job(f"loop{k}",
-                                               make_loop_app(profile),
-                                               True, 10)
-                tickets.append(t)
-            first = yield tickets[0].finished
-            return first
-
-        proc = env.process(driver(), name=f"deg/{degree}")
-        env.run(until=proc)
-        cpu_mean = Series.of("cpu", [s.cpu_elapsed for s in proc.value]).mean
+    for degree in config.degrees:
+        cpu_mean = payloads[(str(degree),)]
         if base is None:
             base = cpu_mean
         stretch[degree] = cpu_mean / base
@@ -303,11 +380,18 @@ def run_degree_sweep(config: Optional[DegreeSweepConfig] = None) -> ExperimentRe
     return result
 
 
+def run_degree_sweep(config: Optional[DegreeSweepConfig] = None) -> ExperimentResult:
+    config = config or DegreeSweepConfig()
+    payloads = {key: run_degree_cell(config, key)
+                for key in plan_degree_cells(config)}
+    return merge_degree_cells(config, payloads)
+
+
 # ---------------------------------------------------------------------------
 # Ablation 5: fair-share half-life (§5.1 / §7 priority management)
 # ---------------------------------------------------------------------------
 @dataclass
-class HalfLifeSweepConfig:
+class HalfLifeSweepConfig(ConfigCodec):
     half_lives: Tuple[float, ...] = (600.0, 3600.0, 14400.0)
     usage_duration: float = 3600.0
     recovery_horizon: float = 14400.0
@@ -315,9 +399,37 @@ class HalfLifeSweepConfig:
     calibration: Calibration = field(default_factory=lambda: DEFAULT_CALIBRATION)
 
 
-def run_half_life_sweep(
-        config: Optional[HalfLifeSweepConfig] = None) -> ExperimentResult:
-    config = config or HalfLifeSweepConfig()
+def plan_half_life_cells(config: HalfLifeSweepConfig) -> List[CellKey]:
+    return [(str(half_life),) for half_life in config.half_lives]
+
+
+def run_half_life_cell(config: HalfLifeSweepConfig,
+                       key: CellKey) -> Tuple[float, float, float]:
+    half_life = float(key[0])
+    fs_config = replace(config.calibration.fairshare,
+                        half_life=half_life)
+    env = Environment()
+    accounting = FairShareAccounting(env, fs_config, total_cpus=10,
+                                     autostart=False)
+    accounting.job_started("hog", "job-1", 10, af_batch())
+    steps_busy = int(config.usage_duration / fs_config.update_interval)
+    for _ in range(steps_busy):
+        env._now += fs_config.update_interval
+        accounting.step()
+    peak = accounting.priority("hog")
+    accounting.job_finished("hog", "job-1")
+    steps_idle = int(config.recovery_horizon / fs_config.update_interval)
+    for _ in range(steps_idle):
+        env._now += fs_config.update_interval
+        accounting.step()
+    after = accounting.priority("hog")
+    frac = 1.0 - after / peak if peak > 0 else 1.0
+    return (peak, after, frac)
+
+
+def merge_half_life_cells(
+        config: HalfLifeSweepConfig,
+        payloads: Dict[CellKey, Tuple[float, float, float]]) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="ablation-halflife",
         title="Priority recovery vs. fair-share half-life",
@@ -331,24 +443,7 @@ def run_half_life_sweep(
         precision=4)
     recovered: Dict[float, float] = {}
     for half_life in config.half_lives:
-        fs_config = replace(config.calibration.fairshare,
-                            half_life=half_life)
-        env = Environment()
-        accounting = FairShareAccounting(env, fs_config, total_cpus=10,
-                                         autostart=False)
-        accounting.job_started("hog", "job-1", 10, af_batch())
-        steps_busy = int(config.usage_duration / fs_config.update_interval)
-        for _ in range(steps_busy):
-            env._now += fs_config.update_interval
-            accounting.step()
-        peak = accounting.priority("hog")
-        accounting.job_finished("hog", "job-1")
-        steps_idle = int(config.recovery_horizon / fs_config.update_interval)
-        for _ in range(steps_idle):
-            env._now += fs_config.update_interval
-            accounting.step()
-        after = accounting.priority("hog")
-        frac = 1.0 - after / peak if peak > 0 else 1.0
+        peak, after, frac = payloads[(str(half_life),)]
         recovered[half_life] = frac
         table.add_row(half_life, peak, after, frac)
     result.tables.append(table)
@@ -366,6 +461,14 @@ def run_half_life_sweep(
     return result
 
 
+def run_half_life_sweep(
+        config: Optional[HalfLifeSweepConfig] = None) -> ExperimentResult:
+    config = config or HalfLifeSweepConfig()
+    payloads = {key: run_half_life_cell(config, key)
+                for key in plan_half_life_cells(config)}
+    return merge_half_life_cells(config, payloads)
+
+
 def run_all_ablations() -> List[ExperimentResult]:
     return [
         run_buffer_sweep(),
@@ -374,3 +477,52 @@ def run_all_ablations() -> List[ExperimentResult]:
         run_degree_sweep(),
         run_half_life_sweep(),
     ]
+
+
+# ---------------------------------------------------------------------------
+# Spec registration
+# ---------------------------------------------------------------------------
+register(ExperimentSpec(
+    experiment_id="ablation-buffer",
+    config_factory=BufferSweepConfig,
+    plan=plan_buffer_cells,
+    run_cell=run_buffer_cell,
+    merge=merge_buffer_cells,
+    cache_salt="ab-buf-v1",
+))
+
+register(ExperimentSpec(
+    experiment_id="ablation-retry",
+    config_factory=RetrySweepConfig,
+    plan=plan_retry_cells,
+    run_cell=run_retry_cell,
+    merge=merge_retry_cells,
+    cache_salt="ab-retry-v1",
+))
+
+register(ExperimentSpec(
+    experiment_id="ablation-pl",
+    config_factory=PerformanceLossSweepConfig,
+    plan=plan_pl_cells,
+    run_cell=run_pl_cell,
+    merge=merge_pl_cells,
+    cache_salt="ab-pl-v1",
+))
+
+register(ExperimentSpec(
+    experiment_id="ablation-degree",
+    config_factory=DegreeSweepConfig,
+    plan=plan_degree_cells,
+    run_cell=run_degree_cell,
+    merge=merge_degree_cells,
+    cache_salt="ab-deg-v1",
+))
+
+register(ExperimentSpec(
+    experiment_id="ablation-halflife",
+    config_factory=HalfLifeSweepConfig,
+    plan=plan_half_life_cells,
+    run_cell=run_half_life_cell,
+    merge=merge_half_life_cells,
+    cache_salt="ab-hl-v1",
+))

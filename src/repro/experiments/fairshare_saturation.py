@@ -20,16 +20,17 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Tuple
 
 from ..calibration import Calibration, DEFAULT_CALIBRATION
-from ..core import BrokerConfig, CrossBroker
-from ..grid import campus_grid
+from ..core import BrokerConfig
 from ..jdl import JobDescription, JobCategory, MachineAccess
 from ..metrics import AsciiTable
+from ..runner.spec import CellKey, ExperimentSpec, register
+from ..scenario import Scenario
 from ..workloads import immediate_output_app
-from .common import ExperimentResult
+from .common import ConfigCodec, ExperimentResult
 
 
 @dataclass
-class SaturationConfig:
+class SaturationConfig(ConfigCodec):
     n_nodes: int = 2
     warmup_jobs: int = 6
     contest_rounds: int = 4
@@ -50,12 +51,12 @@ def _run(config: SaturationConfig) -> Dict[str, List[bool]]:
     calibration = config.calibration.with_fairshare(
         half_life=config.half_life, update_interval=30.0,
         scarcity_margin=0.05)
-    tb = campus_grid(seed=config.seed, n_nodes=config.n_nodes,
-                     calibration=calibration)
-    tb.publish_all_now()
-    env = tb.env
-    broker = CrossBroker(env, tb.network, tb.rng, calibration,
-                         config=BrokerConfig(scarcity_factor=2.0))
+    handle = Scenario(sites=1, scenario="campus",
+                      nodes_per_site=config.n_nodes, seed=config.seed,
+                      calibration=calibration).build()
+    tb = handle.testbed
+    env = handle.env
+    broker = handle.configure_broker(BrokerConfig(scarcity_factor=2.0))
     outcomes: Dict[str, List[bool]] = {"greedy": [], "modest": []}
 
     def app_factory(rank):
@@ -95,14 +96,26 @@ def _run(config: SaturationConfig) -> Dict[str, List[bool]]:
     return proc.value
 
 
-def run_fairshare_saturation(
-        config: Optional[SaturationConfig] = None) -> ExperimentResult:
-    config = config or SaturationConfig()
+# ---------------------------------------------------------------------------
+# Runner cells: the contest is one indivisible simulation (a single cell),
+# but routing it through the spec still buys caching and unified reporting.
+# ---------------------------------------------------------------------------
+def plan_cells(config: SaturationConfig) -> List[CellKey]:
+    return [("contest",)]
+
+
+def run_cell(config: SaturationConfig, key: CellKey) -> Dict[str, List[bool]]:
+    assert key == ("contest",)
+    return _run(config)
+
+
+def merge_cells(config: SaturationConfig,
+                payloads: Dict[CellKey, Dict[str, List[bool]]]) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fairshare-saturation",
         title="Fair-share rejection protects modest users under scarcity",
         paper_reference="§5.1 (priority-based rejection)")
-    outcomes = _run(config)
+    outcomes = payloads[("contest",)]
     result.data["outcomes"] = outcomes
 
     table = AsciiTable(["user", "contest submissions", "accepted",
@@ -125,3 +138,21 @@ def run_fairshare_saturation(
         modest_accepts == len(outcomes["modest"]),
         f"{modest_accepts}/{len(outcomes['modest'])} accepted")
     return result
+
+
+def run_fairshare_saturation(
+        config: Optional[SaturationConfig] = None) -> ExperimentResult:
+    """Serial reference path (see :mod:`repro.runner`)."""
+    config = config or SaturationConfig()
+    payloads = {key: run_cell(config, key) for key in plan_cells(config)}
+    return merge_cells(config, payloads)
+
+
+register(ExperimentSpec(
+    experiment_id="fairshare-saturation",
+    config_factory=SaturationConfig,
+    plan=plan_cells,
+    run_cell=run_cell,
+    merge=merge_cells,
+    cache_salt="fs-v1",
+))

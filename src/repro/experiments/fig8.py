@@ -19,7 +19,6 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Tuple
 
 from ..calibration import Calibration, DEFAULT_CALIBRATION
-from ..grid import campus_grid
 from ..metrics import (
     AsciiTable,
     Series,
@@ -28,8 +27,10 @@ from ..metrics import (
     sparkline,
 )
 from ..multiprog import AgentRuntime
+from ..runner.spec import CellKey, ExperimentSpec, register
+from ..scenario import Scenario
 from ..workloads import cpu_hog, make_loop_app
-from .common import ExperimentResult
+from .common import ConfigCodec, ExperimentResult
 
 #: Paper's measured means, for side-by-side reporting.
 PAPER_CPU = {"exclusive": 0.921, "shared-alone": 0.921,
@@ -39,11 +40,23 @@ PAPER_IO = {"exclusive": 0.00606, "shared-alone": 0.00606,
 
 
 @dataclass
-class Fig8Config:
+class Fig8Config(ConfigCodec):
     iterations: int = 1000
     performance_losses: Tuple[int, ...] = (10, 25)
     seed: int = 8
     calibration: Calibration = field(default_factory=lambda: DEFAULT_CALIBRATION)
+
+
+def _scenario_table(config: Fig8Config) -> List[Tuple[str, Optional[int],
+                                                      bool, bool]]:
+    """The canonical (name, pl, with_batch, shared) configuration list."""
+    scenarios: List[Tuple[str, Optional[int], bool, bool]] = [
+        ("exclusive", None, False, False),
+        ("shared-alone", config.performance_losses[0], False, True),
+    ]
+    for pl in config.performance_losses:
+        scenarios.append((f"shared-pl{pl}", pl, True, True))
+    return scenarios
 
 
 def _scenario(config: Fig8Config, pl: Optional[int], with_batch: bool,
@@ -55,11 +68,12 @@ def _scenario(config: Fig8Config, pl: Optional[int], with_batch: bool,
         from dataclasses import replace
 
         profile = replace(profile, iterations=config.iterations)
-    tb = campus_grid(seed=config.seed + seed_offset, n_nodes=1,
-                     calibration=calibration)
+    handle = Scenario(sites=1, scenario="campus", nodes_per_site=1,
+                      seed=config.seed + seed_offset,
+                      calibration=calibration).build()
+    tb = handle.testbed
     env = tb.env
-    site = tb.site("uab")
-    node = site.nodes[0]
+    node = handle.node()
     loop = make_loop_app(profile)
 
     if not shared:
@@ -103,24 +117,32 @@ def _direct_ctx(env, tb, node):
     return MachineContext(env, node, tenant, tb.rng, "fig8-agent")
 
 
-def run_fig8(config: Optional[Fig8Config] = None) -> ExperimentResult:
-    config = config or Fig8Config()
+# ---------------------------------------------------------------------------
+# Runner cells: one loop-application configuration per cell
+# ---------------------------------------------------------------------------
+def plan_cells(config: Fig8Config) -> List[CellKey]:
+    return [(name,) for name, _, _, _ in _scenario_table(config)]
+
+
+def run_cell(config: Fig8Config, key: CellKey) -> Tuple[Series, Series]:
+    table = _scenario_table(config)
+    for offset, (name, pl, with_batch, shared) in enumerate(table):
+        if name == key[0]:
+            return _scenario(config, pl, with_batch, shared, offset)
+    raise KeyError(f"unknown fig8 cell {key!r}")
+
+
+def merge_cells(config: Fig8Config,
+                payloads: Dict[CellKey, Tuple[Series, Series]]) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig8",
         title="VM load overhead: CPU bursts and I/O under multiprogramming",
         paper_reference="Figure 8 and §6.3 statistics")
 
-    scenarios: List[Tuple[str, Optional[int], bool, bool]] = [
-        ("exclusive", None, False, False),
-        ("shared-alone", config.performance_losses[0], False, True),
-    ]
-    for pl in config.performance_losses:
-        scenarios.append((f"shared-pl{pl}", pl, True, True))
-
     cpu: Dict[str, Series] = {}
     io: Dict[str, Series] = {}
-    for offset, (name, pl, with_batch, shared) in enumerate(scenarios):
-        io_s, cpu_s = _scenario(config, pl, with_batch, shared, offset)
+    for name, _, _, _ in _scenario_table(config):
+        io_s, cpu_s = payloads[(name,)]
         cpu[name] = cpu_s
         io[name] = io_s
     result.data["cpu"] = cpu
@@ -183,3 +205,21 @@ def run_fig8(config: Optional[Fig8Config] = None) -> ExperimentResult:
             f"pl{lo}={cpu[f'shared-pl{lo}'].mean:.4f}s "
             f"pl{hi}={cpu[f'shared-pl{hi}'].mean:.4f}s")
     return result
+
+
+def run_fig8(config: Optional[Fig8Config] = None) -> ExperimentResult:
+    """Serial reference path for Figure 8 (see :mod:`repro.runner`)."""
+    config = config or Fig8Config()
+    payloads = {key: run_cell(config, key) for key in plan_cells(config)}
+    return merge_cells(config, payloads)
+
+
+register(ExperimentSpec(
+    experiment_id="fig8",
+    config_factory=Fig8Config,
+    plan=plan_cells,
+    run_cell=run_cell,
+    merge=merge_cells,
+    cache_salt="f8-v1",
+    quick_config_factory=lambda: Fig8Config(iterations=300),
+))

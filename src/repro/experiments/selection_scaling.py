@@ -9,16 +9,16 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Tuple
 
 from ..calibration import Calibration, DEFAULT_CALIBRATION
-from ..grid import europe_testbed
 from ..jdl import JobDescription, JobCategory, MachineAccess
 from ..metrics import AsciiTable, Series
-from ..core import CrossBroker
+from ..runner.spec import CellKey, ExperimentSpec, register
+from ..scenario import Scenario
 from ..workloads import immediate_output_app
-from .common import ExperimentResult
+from .common import ConfigCodec, ExperimentResult
 
 
 @dataclass
-class SelectionScalingConfig:
+class SelectionScalingConfig(ConfigCodec):
     site_counts: Tuple[int, ...] = (5, 10, 20, 40)
     jobs: int = 10
     seed: int = 3
@@ -27,11 +27,11 @@ class SelectionScalingConfig:
 
 def _measure(config: SelectionScalingConfig,
              n_sites: int) -> Tuple[Series, Series]:
-    tb = europe_testbed(seed=config.seed + n_sites, n_sites=n_sites,
-                        calibration=config.calibration)
-    tb.publish_all_now()
-    env = tb.env
-    broker = CrossBroker(env, tb.network, tb.rng, config.calibration)
+    handle = Scenario(sites=n_sites, scenario="europe",
+                      seed=config.seed + n_sites,
+                      calibration=config.calibration).build()
+    env = handle.env
+    broker = handle.broker
     discovery: List[float] = []
     selection: List[float] = []
 
@@ -54,9 +54,20 @@ def _measure(config: SelectionScalingConfig,
     return Series.of("discovery", discovery), Series.of("selection", selection)
 
 
-def run_selection_scaling(
-        config: Optional[SelectionScalingConfig] = None) -> ExperimentResult:
-    config = config or SelectionScalingConfig()
+# ---------------------------------------------------------------------------
+# Runner cells: one grid size per cell
+# ---------------------------------------------------------------------------
+def plan_cells(config: SelectionScalingConfig) -> List[CellKey]:
+    return [(str(n),) for n in config.site_counts]
+
+
+def run_cell(config: SelectionScalingConfig,
+             key: CellKey) -> Tuple[Series, Series]:
+    return _measure(config, int(key[0]))
+
+
+def merge_cells(config: SelectionScalingConfig,
+                payloads: Dict[CellKey, Tuple[Series, Series]]) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="selection-scaling",
         title="Discovery/selection time vs. number of sites",
@@ -67,7 +78,7 @@ def run_selection_scaling(
     discovery: Dict[int, Series] = {}
     selection: Dict[int, Series] = {}
     for n in config.site_counts:
-        d, s = _measure(config, n)
+        d, s = payloads[(str(n),)]
         discovery[n], selection[n] = d, s
         table.add_row(n, d.mean, s.mean)
     result.tables.append(table)
@@ -91,3 +102,22 @@ def run_selection_scaling(
             1.8 <= selection[20].mean <= 4.5,
             f"measured {selection[20].mean:.2f}s")
     return result
+
+
+def run_selection_scaling(
+        config: Optional[SelectionScalingConfig] = None) -> ExperimentResult:
+    """Serial reference path (see :mod:`repro.runner`)."""
+    config = config or SelectionScalingConfig()
+    payloads = {key: run_cell(config, key) for key in plan_cells(config)}
+    return merge_cells(config, payloads)
+
+
+register(ExperimentSpec(
+    experiment_id="selection-scaling",
+    config_factory=SelectionScalingConfig,
+    plan=plan_cells,
+    run_cell=run_cell,
+    merge=merge_cells,
+    cache_salt="ss-v1",
+    quick_config_factory=lambda: SelectionScalingConfig(jobs=4),
+))

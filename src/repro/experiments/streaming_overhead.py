@@ -22,11 +22,13 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 from ..baselines import GloginMechanism, InterpositionMechanism, SshMechanism
 from ..calibration import Calibration, DEFAULT_CALIBRATION
-from ..grid import Testbed, campus_grid, wan_grid
+from ..grid import Testbed
 from ..jdl import StreamingMode
 from ..metrics import AsciiTable, Series, crossover_size, ranking, sparkline
+from ..runner.spec import CellKey, ExperimentSpec, register
+from ..scenario import Scenario
 from ..workloads import run_sequences
-from .common import ExperimentResult
+from .common import ConfigCodec, ExperimentResult
 
 SIZES: Tuple[int, ...] = (10, 100, 1000, 10000)
 MECHANISMS: Tuple[str, ...] = ("ssh", "glogin", "agents-fast",
@@ -34,7 +36,7 @@ MECHANISMS: Tuple[str, ...] = ("ssh", "glogin", "agents-fast",
 
 
 @dataclass
-class StreamingConfig:
+class StreamingConfig(ConfigCodec):
     scenario: str = "campus"  # or "wan"
     sizes: Tuple[int, ...] = SIZES
     sequences: int = 1000
@@ -43,9 +45,9 @@ class StreamingConfig:
 
 
 def _build_world(config: StreamingConfig, offset: int) -> Testbed:
-    builder = campus_grid if config.scenario == "campus" else wan_grid
-    return builder(seed=config.seed + offset, n_nodes=1,
-                   calibration=config.calibration)
+    return Scenario(sites=1, scenario=config.scenario, nodes_per_site=1,
+                    seed=config.seed + offset,
+                    calibration=config.calibration).build().testbed
 
 
 def _make_mechanism(name: str, tb: Testbed, config: StreamingConfig):
@@ -64,25 +66,45 @@ def _make_mechanism(name: str, tb: Testbed, config: StreamingConfig):
                                   cal.streaming, mode)
 
 
+# ---------------------------------------------------------------------------
+# Runner cells: one (mechanism, payload-size) pair per cell
+# ---------------------------------------------------------------------------
+def plan_cells(config: StreamingConfig) -> List[CellKey]:
+    return [(name, str(size))
+            for name in MECHANISMS for size in config.sizes]
+
+
+def run_cell(config: StreamingConfig, key: CellKey) -> Series:
+    name, size_str = key
+    size = int(size_str)
+    # The cell's world seed offset is its canonical position in the
+    # mechanism x size grid — stable under sharding, identical to the
+    # historical serial sweep order.
+    offset = (MECHANISMS.index(name) * len(config.sizes)
+              + config.sizes.index(size))
+    tb = _build_world(config, offset)
+    mech = _make_mechanism(name, tb, config)
+
+    def driver() -> Generator:
+        times = yield from run_sequences(mech, size, config.sequences)
+        return times
+
+    proc = tb.env.process(driver(), name=f"suite/{name}/{size}")
+    tb.env.run(until=proc)
+    return Series.of(f"{name}@{size}", proc.value)
+
+
+def _assemble(config: StreamingConfig,
+              payloads: Dict[CellKey, Series]) -> Dict[str, Dict[int, Series]]:
+    return {name: {size: payloads[(name, str(size))]
+                   for size in config.sizes}
+            for name in MECHANISMS}
+
+
 def measure(config: StreamingConfig) -> Dict[str, Dict[int, Series]]:
     """Run the full suite; returns mechanism -> size -> per-sequence times."""
-    out: Dict[str, Dict[int, Series]] = {}
-    offset = 0
-    for name in MECHANISMS:
-        out[name] = {}
-        for size in config.sizes:
-            tb = _build_world(config, offset)
-            offset += 1
-            mech = _make_mechanism(name, tb, config)
-
-            def driver() -> Generator:
-                times = yield from run_sequences(mech, size, config.sequences)
-                return times
-
-            proc = tb.env.process(driver(), name=f"suite/{name}/{size}")
-            tb.env.run(until=proc)
-            out[name][size] = Series.of(f"{name}@{size}", proc.value)
-    return out
+    return _assemble(config, {key: run_cell(config, key)
+                              for key in plan_cells(config)})
 
 
 def _result_tables(data: Dict[str, Dict[int, Series]],
@@ -121,15 +143,15 @@ def _series_notes(data: Dict[str, Dict[int, Series]],
     return notes
 
 
-def run_fig6(config: Optional[StreamingConfig] = None) -> ExperimentResult:
+def merge_fig6(config: StreamingConfig,
+               payloads: Dict[CellKey, Series]) -> ExperimentResult:
     """Campus-grid streaming comparison (Figure 6)."""
-    config = config or StreamingConfig(scenario="campus")
     assert config.scenario == "campus"
     result = ExperimentResult(
         experiment_id="fig6",
         title="I/O streaming round trips — campus grid",
         paper_reference="Figure 6 and §6.2")
-    data = measure(config)
+    data = _assemble(config, payloads)
     result.data["series"] = data
     result.tables.append(_result_tables(data, config))
     result.notes.extend(_series_notes(data, config))
@@ -164,15 +186,22 @@ def run_fig6(config: Optional[StreamingConfig] = None) -> ExperimentResult:
     return result
 
 
-def run_fig7(config: Optional[StreamingConfig] = None) -> ExperimentResult:
+def run_fig6(config: Optional[StreamingConfig] = None) -> ExperimentResult:
+    """Serial reference path for Figure 6 (see :mod:`repro.runner`)."""
+    config = config or StreamingConfig(scenario="campus")
+    return merge_fig6(config, {key: run_cell(config, key)
+                               for key in plan_cells(config)})
+
+
+def merge_fig7(config: StreamingConfig,
+               payloads: Dict[CellKey, Series]) -> ExperimentResult:
     """Wide-area streaming comparison (Figure 7)."""
-    config = config or StreamingConfig(scenario="wan")
     assert config.scenario == "wan"
     result = ExperimentResult(
         experiment_id="fig7",
         title="I/O streaming round trips — wide-area grid (UAB<->IFCA)",
         paper_reference="Figure 7 and §6.2")
-    data = measure(config)
+    data = _assemble(config, payloads)
     result.data["series"] = data
     result.tables.append(_result_tables(data, config))
     result.notes.extend(_series_notes(data, config))
@@ -200,3 +229,33 @@ def run_fig7(config: Optional[StreamingConfig] = None) -> ExperimentResult:
         abs(rel.mean - ssh_l.mean) / ssh_l.mean < 0.35,
         f"reliable={rel.mean*1e3:.2f}ms ssh={ssh_l.mean*1e3:.2f}ms")
     return result
+
+
+def run_fig7(config: Optional[StreamingConfig] = None) -> ExperimentResult:
+    """Serial reference path for Figure 7 (see :mod:`repro.runner`)."""
+    config = config or StreamingConfig(scenario="wan")
+    return merge_fig7(config, {key: run_cell(config, key)
+                               for key in plan_cells(config)})
+
+
+register(ExperimentSpec(
+    experiment_id="fig6",
+    config_factory=lambda: StreamingConfig(scenario="campus"),
+    plan=plan_cells,
+    run_cell=run_cell,
+    merge=merge_fig6,
+    cache_salt="f6-v1",
+    quick_config_factory=lambda: StreamingConfig(scenario="campus",
+                                                 sequences=200),
+))
+
+register(ExperimentSpec(
+    experiment_id="fig7",
+    config_factory=lambda: StreamingConfig(scenario="wan"),
+    plan=plan_cells,
+    run_cell=run_cell,
+    merge=merge_fig7,
+    cache_salt="f7-v1",
+    quick_config_factory=lambda: StreamingConfig(scenario="wan",
+                                                 sequences=200),
+))

@@ -29,13 +29,15 @@ from typing import Dict, Generator, List, Optional, Tuple
 import numpy as np
 
 from ..baselines import GloginMechanism
-from ..calibration import CAMPUS, Calibration, DEFAULT_CALIBRATION, WAN
-from ..grid import SiteConfig, Testbed, base_world
+from ..calibration import Calibration, DEFAULT_CALIBRATION
+from ..grid import Testbed
 from ..jdl import JobDescription, JobCategory, MachineAccess, StreamingMode
 from ..metrics import AsciiTable, Series
 from ..core import BrokerConfig, CrossBroker, SubmissionPath
+from ..runner.spec import CellKey, ExperimentSpec, register
+from ..scenario import Scenario
 from ..workloads import cpu_bound_app, immediate_output_app
-from .common import ExperimentResult
+from .common import ConfigCodec, ExperimentResult
 
 PAPER = {
     "glogin": {"campus": 16.43, "wan": 20.12},
@@ -48,7 +50,7 @@ METHODS = ("glogin", "idle", "virtual-machine", "job+agent")
 
 
 @dataclass
-class Table1Config:
+class Table1Config(ConfigCodec):
     jobs_per_method: int = 100
     n_sites: int = 20
     scenarios: Tuple[str, ...] = ("campus", "wan")
@@ -64,22 +66,18 @@ class MethodMeasurement:
 
 
 def _world(config: Table1Config, scenario: str, offset: int) -> Tuple[Testbed, str]:
-    """A 20-site Europe testbed whose target site sits on the scenario path."""
-    tb = base_world(seed=config.seed * 1000 + offset,
-                    calibration=config.calibration)
-    target = "uab" if scenario == "campus" else "ifca"
-    profile = CAMPUS if scenario == "campus" else WAN
-    tb.add_site(SiteConfig(target, n_nodes=4), profile)
-    for i in range(config.n_sites - 1):
-        name = f"site{i:02d}"
-        latency = tb.rng.uniform(f"t1/lat/{name}", 0.004, 0.030)
-        bandwidth = tb.rng.uniform(f"t1/bw/{name}", 4e6 / 8, 40e6 / 8)
-        from ..calibration import NetworkProfile
+    """A 20-site Europe testbed whose target site sits on the scenario path.
 
-        tb.add_site(SiteConfig(name, n_nodes=4),
-                    NetworkProfile(latency, bandwidth, 0.15))
-    tb.publish_all_now()
-    return tb, target
+    Each (scenario, method) cell gets its own world seeded purely from
+    ``(config.seed, offset)`` where ``offset`` is the method's canonical
+    index — never the shard or completion order — so per-cell RNG streams
+    are independent of how the runner distributes the work.
+    """
+    handle = Scenario(sites=config.n_sites, scenario=scenario,
+                      seed=config.seed * 1000 + offset,
+                      calibration=config.calibration).build()
+    assert handle.target is not None
+    return handle.testbed, handle.target
 
 
 def _pinned_job(target: str, owner: str, interactive: bool,
@@ -170,20 +168,30 @@ def _measure_broker_method(config: Table1Config, scenario: str, method: str,
                              Series.of("sub", submission))
 
 
+# ---------------------------------------------------------------------------
+# Runner cells: one (scenario, method) pair per cell
+# ---------------------------------------------------------------------------
+def plan_cells(config: Table1Config) -> List[CellKey]:
+    return [(scenario, method)
+            for scenario in config.scenarios for method in METHODS]
+
+
+def run_cell(config: Table1Config, key: CellKey) -> MethodMeasurement:
+    scenario, method = key
+    offset = METHODS.index(method)
+    if method == "glogin":
+        return _measure_glogin(config, scenario, offset)
+    return _measure_broker_method(config, scenario, method, offset)
+
+
 def measure_scenario(config: Table1Config,
                      scenario: str) -> Dict[str, MethodMeasurement]:
-    out: Dict[str, MethodMeasurement] = {}
-    for offset, method in enumerate(METHODS):
-        if method == "glogin":
-            out[method] = _measure_glogin(config, scenario, offset)
-        else:
-            out[method] = _measure_broker_method(config, scenario, method,
-                                                 offset)
-    return out
+    return {method: run_cell(config, (scenario, method))
+            for method in METHODS}
 
 
-def run_table1(config: Optional[Table1Config] = None) -> ExperimentResult:
-    config = config or Table1Config()
+def merge_cells(config: Table1Config,
+                payloads: Dict[CellKey, MethodMeasurement]) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="table1",
         title="Response time for jobs (seconds)",
@@ -191,7 +199,7 @@ def run_table1(config: Optional[Table1Config] = None) -> ExperimentResult:
 
     all_data: Dict[str, Dict[str, MethodMeasurement]] = {}
     for scenario in config.scenarios:
-        data = measure_scenario(config, scenario)
+        data = {method: payloads[(scenario, method)] for method in METHODS}
         all_data[scenario] = data
         table = AsciiTable(
             ["method", "discovery (s)", "selection (s)", "submission (s)",
@@ -255,3 +263,25 @@ def run_table1(config: Optional[Table1Config] = None) -> ExperimentResult:
                 f"{method}: wide-area submission is slower than campus",
                 wan > campus, f"campus={campus:.2f}s wan={wan:.2f}s")
     return result
+
+
+def run_table1(config: Optional[Table1Config] = None) -> ExperimentResult:
+    """Serial reference path: plan -> run every cell -> merge.
+
+    Byte-identical to ``repro.runner.run_experiment("table1", ...)`` at
+    any parallelism (the runner merges in the same plan order).
+    """
+    config = config or Table1Config()
+    payloads = {key: run_cell(config, key) for key in plan_cells(config)}
+    return merge_cells(config, payloads)
+
+
+register(ExperimentSpec(
+    experiment_id="table1",
+    config_factory=Table1Config,
+    plan=plan_cells,
+    run_cell=run_cell,
+    merge=merge_cells,
+    cache_salt="t1-v1",
+    quick_config_factory=lambda: Table1Config(jobs_per_method=8),
+))

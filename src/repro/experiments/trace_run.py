@@ -20,7 +20,6 @@ import argparse
 import json
 from typing import Generator, List, Optional
 
-from ..core import CrossBroker
 from ..metrics import (
     counters_table,
     job_breakdown_table,
@@ -28,8 +27,9 @@ from ..metrics import (
     write_trace_csv,
 )
 from ..obs import Tracer
+from ..scenario import Scenario
 from ..workloads import cpu_bound_app, immediate_output_app
-from .table1 import Table1Config, _pinned_job, _world
+from .table1 import _pinned_job
 
 #: Broker-mediated Table I methods (glogin bypasses the broker entirely,
 #: so there is nothing for the lifecycle tracer to attribute).
@@ -42,12 +42,18 @@ def run_traced_method(method: str, scenario: str = "campus", jobs: int = 5,
     if method not in TRACE_METHODS:
         raise ValueError(f"method must be one of {TRACE_METHODS}, "
                          f"got {method!r}")
-    config = Table1Config(jobs_per_method=jobs, n_sites=n_sites, seed=seed)
+    # Same world-seed formula as the Table I cells: (seed, canonical
+    # method offset) — here shifted by +1 so traces never share RNG
+    # streams with the un-traced Table I measurements.
     offset = TRACE_METHODS.index(method) + 1
-    tb, target = _world(config, scenario, offset)
-    env = tb.env
-    tracer = Tracer(env).install()
-    broker = CrossBroker(env, tb.network, tb.rng, config.calibration)
+    handle = Scenario(sites=n_sites, scenario=scenario,
+                      seed=seed * 1000 + offset, trace=True).build()
+    tb = handle.testbed
+    env = handle.env
+    target = handle.target
+    assert handle.tracer is not None
+    tracer = handle.tracer
+    broker = handle.broker
 
     def driver() -> Generator:
         if method == "virtual-machine":

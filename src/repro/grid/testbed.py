@@ -87,7 +87,11 @@ def base_world(seed: int = 0,
                calibration: Optional[Calibration] = None,
                profile: NetworkProfile = CAMPUS,
                with_mds: bool = True) -> Testbed:
-    """Core + ui + broker (+ MDS index), no sites yet."""
+    """Core + ui + broker (+ MDS index), no sites yet.
+
+    Compatibility shim: new code should build worlds through
+    :class:`repro.Scenario` (see ``repro/scenario.py``).
+    """
     env = Environment()
     rng = RandomStreams(seed)
     network = Network(env, rng.spawn("network"))
@@ -115,7 +119,11 @@ def base_world(seed: int = 0,
 def campus_grid(seed: int = 0, n_nodes: int = 4,
                 calibration: Optional[Calibration] = None,
                 site_name: str = "uab") -> Testbed:
-    """Scenario 1: one site on the campus network (paper §6)."""
+    """Scenario 1: one site on the campus network (paper §6).
+
+    Compatibility shim — prefer ``Scenario(sites=1, scenario="campus",
+    nodes_per_site=n).build()``.
+    """
     testbed = base_world(seed, calibration)
     testbed.add_site(SiteConfig(site_name, n_nodes=n_nodes), CAMPUS)
     return testbed
@@ -124,7 +132,11 @@ def campus_grid(seed: int = 0, n_nodes: int = 4,
 def wan_grid(seed: int = 0, n_nodes: int = 4,
              calibration: Optional[Calibration] = None,
              site_name: str = "ifca") -> Testbed:
-    """Scenario 2: execution at IFCA (Santander) over the Spanish NREN."""
+    """Scenario 2: execution at IFCA (Santander) over the Spanish NREN.
+
+    Compatibility shim — prefer ``Scenario(sites=1, scenario="wan",
+    nodes_per_site=n).build()``.
+    """
     testbed = base_world(seed, calibration)
     testbed.add_site(SiteConfig(site_name, n_nodes=n_nodes), WAN)
     return testbed

@@ -1,0 +1,219 @@
+"""Content-addressed on-disk cache of completed experiment cells.
+
+A cell's cache key is a blake2b hash of a canonical JSON document::
+
+    {
+      "cache_version": <runner format version>,
+      "experiment":    <experiment id>,
+      "salt":          <spec.cache_salt — bumped on code changes>,
+      "config":        <config.to_key_dict() — semantic fields only>,
+      "calibration":   <flattened calibration dataclass tree>,
+      "cell":          [<cell key parts>]
+    }
+
+Everything that can change a cell's payload is in the document; nothing
+else is (no timestamps, no hostnames, no dict ordering — keys are
+sorted).  Re-running with the same config therefore only simulates
+missing cells, and a ``--quick`` run upgraded to full scale re-uses
+nothing by accident because the sample counts live in the config dict.
+
+Entries are stored as ``<dir>/<experiment>/<hash>.pkl`` pickles with a
+small metadata header, so ``repro cache ls`` can describe them without
+deserialising payloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from .spec import CellKey, ExperimentSpec
+
+#: Bump to invalidate every cache entry (runner format change).
+CACHE_VERSION = 1
+
+_PICKLE_PROTOCOL = 4
+
+
+def calibration_fingerprint(calibration: Any) -> Dict[str, Any]:
+    """A calibration dataclass tree flattened to JSON-able primitives."""
+    if dataclasses.is_dataclass(calibration):
+        return {f.name: calibration_fingerprint(getattr(calibration, f.name))
+                for f in dataclasses.fields(calibration)}
+    if isinstance(calibration, dict):
+        return {str(k): calibration_fingerprint(v)
+                for k, v in calibration.items()}
+    if isinstance(calibration, (list, tuple)):
+        return [calibration_fingerprint(v) for v in calibration]
+    return calibration
+
+
+def _config_key_dict(config: Any) -> Dict[str, Any]:
+    """The config's semantic identity (prefers ``to_key_dict``)."""
+    to_key = getattr(config, "to_key_dict", None)
+    if callable(to_key):
+        return to_key()
+    if dataclasses.is_dataclass(config):  # fallback for ad-hoc configs
+        return {f.name: calibration_fingerprint(getattr(config, f.name))
+                for f in dataclasses.fields(config)
+                if f.name != "calibration"}
+    raise TypeError(f"config {type(config).__name__} has no to_key_dict() "
+                    f"and is not a dataclass")
+
+
+def cache_key(spec: ExperimentSpec, config: Any, cell: CellKey) -> str:
+    """Stable hex digest identifying one cell's result."""
+    document = {
+        "cache_version": CACHE_VERSION,
+        "experiment": spec.experiment_id,
+        "salt": spec.cache_salt,
+        "config": _config_key_dict(config),
+        "calibration": calibration_fingerprint(
+            getattr(config, "calibration", None)),
+        "cell": list(cell),
+    }
+    blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(blob.encode("utf-8"), digest_size=16).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheEntry:
+    """Metadata of one stored cell (payload not loaded)."""
+
+    experiment_id: str
+    digest: str
+    cell: CellKey
+    elapsed: float
+    created: float
+    size_bytes: int
+    path: str
+
+
+class ResultCache:
+    """Directory-backed cell cache.  Safe to share between processes:
+    writes go through a per-process temp file + atomic rename."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.path.abspath(directory)
+
+    # -- paths -----------------------------------------------------------
+    def _experiment_dir(self, experiment_id: str) -> str:
+        # Experiment ids are shell-safe slugs; keep subdirs readable.
+        return os.path.join(self.directory, experiment_id)
+
+    def _path(self, experiment_id: str, digest: str) -> str:
+        return os.path.join(self._experiment_dir(experiment_id),
+                            f"{digest}.pkl")
+
+    # -- core API --------------------------------------------------------
+    def get(self, spec: ExperimentSpec, config: Any,
+            cell: CellKey) -> Optional[Dict[str, Any]]:
+        """The stored record for a cell, or None on miss/corruption."""
+        path = self._path(spec.experiment_id, cache_key(spec, config, cell))
+        try:
+            with open(path, "rb") as fh:
+                record = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        if not isinstance(record, dict) or "payload" not in record:
+            return None
+        if tuple(record.get("cell", ())) != tuple(cell):
+            return None  # hash collision or tampering: treat as miss
+        return record
+
+    def put(self, spec: ExperimentSpec, config: Any, cell: CellKey,
+            payload: Any, elapsed: float) -> str:
+        digest = cache_key(spec, config, cell)
+        directory = self._experiment_dir(spec.experiment_id)
+        os.makedirs(directory, exist_ok=True)
+        record = {
+            "cache_version": CACHE_VERSION,
+            "experiment": spec.experiment_id,
+            "salt": spec.cache_salt,
+            "cell": tuple(cell),
+            "elapsed": float(elapsed),
+            "created": time.time(),
+            "payload": payload,
+        }
+        path = self._path(spec.experiment_id, digest)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            pickle.dump(record, fh, protocol=_PICKLE_PROTOCOL)
+        os.replace(tmp, path)  # atomic on POSIX
+        return digest
+
+    # -- management (repro cache {ls,clear}) -----------------------------
+    def entries(self,
+                experiment_id: Optional[str] = None) -> Iterator[CacheEntry]:
+        """Iterate stored cells (metadata only), sorted for stable output."""
+        if not os.path.isdir(self.directory):
+            return
+        experiments = ([experiment_id] if experiment_id
+                       else sorted(os.listdir(self.directory)))
+        for exp in experiments:
+            exp_dir = self._experiment_dir(exp)
+            if not os.path.isdir(exp_dir):
+                continue
+            for fname in sorted(os.listdir(exp_dir)):
+                if not fname.endswith(".pkl"):
+                    continue
+                path = os.path.join(exp_dir, fname)
+                try:
+                    with open(path, "rb") as fh:
+                        record = pickle.load(fh)
+                    size = os.path.getsize(path)
+                except (OSError, pickle.UnpicklingError, EOFError,
+                        AttributeError, ImportError, IndexError):
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                yield CacheEntry(
+                    experiment_id=exp,
+                    digest=fname[:-len(".pkl")],
+                    cell=tuple(record.get("cell", ())),
+                    elapsed=float(record.get("elapsed", 0.0)),
+                    created=float(record.get("created", 0.0)),
+                    size_bytes=size,
+                    path=path)
+
+    def clear(self, experiment_id: Optional[str] = None) -> int:
+        """Delete stored cells (all, or one experiment's); returns count."""
+        removed = 0
+        for entry in list(self.entries(experiment_id)):
+            try:
+                os.remove(entry.path)
+                removed += 1
+            except OSError:
+                pass
+        # Prune now-empty experiment directories.
+        if os.path.isdir(self.directory):
+            for exp in os.listdir(self.directory):
+                exp_dir = self._experiment_dir(exp)
+                if os.path.isdir(exp_dir) and not os.listdir(exp_dir):
+                    try:
+                        os.rmdir(exp_dir)
+                    except OSError:
+                        pass
+        return removed
+
+    def summary(self) -> List[Dict[str, Any]]:
+        """Per-experiment {experiment, cells, bytes, cell_seconds} rows."""
+        rows: Dict[str, Dict[str, Any]] = {}
+        for entry in self.entries():
+            row = rows.setdefault(entry.experiment_id, {
+                "experiment": entry.experiment_id, "cells": 0,
+                "bytes": 0, "cell_seconds": 0.0})
+            row["cells"] += 1
+            row["bytes"] += entry.size_bytes
+            row["cell_seconds"] += entry.elapsed
+        return [rows[k] for k in sorted(rows)]
+
+
+__all__ = ["CACHE_VERSION", "CacheEntry", "ResultCache", "cache_key",
+           "calibration_fingerprint"]

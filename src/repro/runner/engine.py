@@ -1,0 +1,201 @@
+"""The sharded experiment executor.
+
+Execution model:
+
+1. ``spec.plan(config)`` yields the canonical ordered cell list;
+2. cells present in the :class:`~repro.runner.cache.ResultCache` are
+   loaded (0 simulation);
+3. missing cells are executed — serially, or fanned out across a
+   ``ProcessPoolExecutor`` when ``parallel > 1``;
+4. payloads are merged **in plan order**, never completion order, so a
+   parallel run is bit-identical to a serial run of the same config.
+
+The engine reports a :class:`RunStats` in
+``result.data["runner"]`` (wall-clock, cached/computed split, serial-
+equivalent cell seconds, speedup) — deliberately *outside* the rendered
+tables/notes so that timing noise can never break output determinism.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from .cache import ResultCache
+from .spec import CellKey, ExperimentSpec, get_spec
+
+Progress = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """How one cell was satisfied."""
+
+    key: CellKey
+    elapsed: float
+    cached: bool
+
+
+@dataclass
+class RunStats:
+    """Aggregate execution statistics for one experiment run."""
+
+    experiment_id: str
+    parallel: int
+    wall_seconds: float = 0.0
+    cells: List[CellOutcome] = field(default_factory=list)
+
+    @property
+    def cells_total(self) -> int:
+        return len(self.cells)
+
+    @property
+    def cells_cached(self) -> int:
+        return sum(1 for c in self.cells if c.cached)
+
+    @property
+    def cells_computed(self) -> int:
+        return sum(1 for c in self.cells if not c.cached)
+
+    @property
+    def cell_seconds(self) -> float:
+        """Serial-equivalent simulation time: the sum every cell *took*
+        (cached cells contribute the time recorded when first computed)."""
+        return sum(c.elapsed for c in self.cells)
+
+    @property
+    def speedup(self) -> float:
+        """Serial-equivalent seconds / wall seconds (>1 = time saved by
+        sharding and/or cache hits)."""
+        if self.wall_seconds <= 0:
+            return 1.0
+        return self.cell_seconds / self.wall_seconds
+
+    def describe(self) -> str:
+        return (f"{self.experiment_id}: {self.cells_total} cells "
+                f"({self.cells_computed} computed, {self.cells_cached} "
+                f"cached) in {self.wall_seconds:.2f}s wall; "
+                f"serial-equivalent {self.cell_seconds:.2f}s; "
+                f"speedup {self.speedup:.2f}x "
+                f"(parallel={self.parallel})")
+
+
+def _execute_cell(experiment_id: str, config: Any,
+                  key: CellKey) -> Any:
+    """Worker-side entry point (module-level: picklable by name)."""
+    spec = get_spec(experiment_id)
+    t0 = time.perf_counter()
+    payload = spec.run_cell(config, key)
+    return key, payload, time.perf_counter() - t0
+
+
+def default_parallelism() -> int:
+    """A conservative default worker count for ``--parallel 0`` (auto)."""
+    return max(1, (os.cpu_count() or 1))
+
+
+def run_experiment(experiment_id: str,
+                   config: Any = None,
+                   *,
+                   quick: bool = False,
+                   parallel: int = 1,
+                   cache: Union[ResultCache, str, None] = None,
+                   progress: Optional[Progress] = None) -> Any:
+    """Run one experiment through the sharded engine.
+
+    Parameters
+    ----------
+    config:
+        Experiment config; defaults to the spec's paper-scale (or
+        ``quick``) factory.
+    parallel:
+        Worker processes.  ``<= 1`` runs in-process (no executor, no
+        pickling); ``0`` auto-sizes to the machine.
+    cache:
+        A :class:`ResultCache`, a directory path, or None to disable.
+    progress:
+        Per-cell progress callback (e.g. ``print``).
+    """
+    spec = get_spec(experiment_id)
+    if config is None:
+        config = spec.make_config(quick=quick)
+    if isinstance(cache, str):
+        cache = ResultCache(cache)
+    if parallel == 0:
+        parallel = default_parallelism()
+
+    say = progress or (lambda line: None)
+    cells = list(spec.plan(config))
+    stats = RunStats(experiment_id=experiment_id, parallel=max(1, parallel))
+    payloads: Dict[CellKey, Any] = {}
+    t_wall = time.perf_counter()
+
+    # -- phase 1: cache lookups -----------------------------------------
+    missing: List[CellKey] = []
+    for key in cells:
+        record = cache.get(spec, config, key) if cache is not None else None
+        if record is not None:
+            payloads[key] = record["payload"]
+            stats.cells.append(CellOutcome(key, record.get("elapsed", 0.0),
+                                           cached=True))
+            say(f"[{experiment_id}] {'/'.join(key)}: cached "
+                f"(first computed in {record.get('elapsed', 0.0):.2f}s)")
+        else:
+            missing.append(key)
+
+    # -- phase 2: simulate missing cells --------------------------------
+    def _complete(key: CellKey, payload: Any, elapsed: float,
+                  done: int) -> None:
+        payloads[key] = payload
+        stats.cells.append(CellOutcome(key, elapsed, cached=False))
+        if cache is not None:
+            cache.put(spec, config, key, payload, elapsed)
+        say(f"[{experiment_id}] {'/'.join(key)}: computed in "
+            f"{elapsed:.2f}s ({done}/{len(cells)})")
+
+    if missing and parallel > 1:
+        executor = None
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=min(parallel, len(missing)))
+            futures = {executor.submit(_execute_cell, experiment_id,
+                                       config, key): key
+                       for key in missing}
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(pending,
+                                         return_when=FIRST_COMPLETED)
+                for future in finished:
+                    key, payload, elapsed = future.result()
+                    _complete(key, payload, elapsed, len(payloads))
+        except (OSError, PermissionError) as exc:
+            # Environments without working process pools (restricted
+            # sandboxes) fall back to in-process execution.
+            say(f"[{experiment_id}] process pool unavailable "
+                f"({exc}); falling back to serial execution")
+            for key in [k for k in missing if k not in payloads]:
+                _, payload, elapsed = _execute_cell(experiment_id, config,
+                                                    key)
+                _complete(key, payload, elapsed, len(payloads) + 1)
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
+    else:
+        for key in missing:
+            _, payload, elapsed = _execute_cell(experiment_id, config, key)
+            _complete(key, payload, elapsed, len(payloads))
+
+    # -- phase 3: deterministic merge -----------------------------------
+    ordered = {key: payloads[key] for key in cells}  # plan order, always
+    stats.cells.sort(key=lambda c: cells.index(c.key))
+    result = spec.merge(config, ordered)
+    stats.wall_seconds = time.perf_counter() - t_wall
+    result.data["runner"] = stats
+    return result
+
+
+__all__ = ["CellOutcome", "RunStats", "default_parallelism",
+           "run_experiment"]

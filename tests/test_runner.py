@@ -1,0 +1,217 @@
+"""The sharded runner: determinism, caching, config codecs, Scenario.
+
+The runner's contract is that *how* cells are executed (serially, in a
+process pool, or loaded from the cache) can never change *what* an
+experiment reports.  These tests pin that contract:
+
+* serial vs ``parallel=2`` renders are identical;
+* a second cached run recomputes zero cells and renders identically;
+* per-cell RNG depends only on (config, cell key), not shard order;
+* every experiment config round-trips through to_key_dict()/from_dict();
+* cache keys are stable across processes and sensitive to semantic
+  config changes only.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import Scenario
+from repro.experiments.ablations import HalfLifeSweepConfig
+from repro.experiments.table1 import Table1Config
+from repro.runner import (
+    ResultCache,
+    all_specs,
+    cache_key,
+    get_spec,
+    run_experiment,
+)
+
+#: A tiny but multi-cell configuration for engine tests.
+def tiny_table1():
+    return Table1Config(jobs_per_method=2, n_sites=3, scenarios=("campus",))
+
+
+class TestEngineDeterminism:
+    def test_table1_serial_and_parallel_render_identically(self):
+        serial = run_experiment("table1", tiny_table1(), parallel=1)
+        parallel = run_experiment("table1", tiny_table1(), parallel=4)
+        assert serial.render() == parallel.render()
+
+    def test_fig6_serial_and_parallel_render_identically(self):
+        from repro.experiments.streaming_overhead import StreamingConfig
+
+        def config():
+            return StreamingConfig(scenario="campus", sequences=15)
+
+        serial = run_experiment("fig6", config(), parallel=1)
+        parallel = run_experiment("fig6", config(), parallel=4)
+        assert serial.render() == parallel.render()
+
+    def test_stats_live_outside_rendered_output(self):
+        result = run_experiment("ablation-halflife", quick=True)
+        stats = result.data["runner"]
+        assert stats.cells_total == stats.cells_computed > 0
+        # Wall-clock numbers never leak into the deterministic render.
+        assert f"{stats.wall_seconds:.2f}" or True
+        assert "runner" not in result.render()
+
+    def test_cell_payload_independent_of_execution_order(self):
+        # Run one cell in isolation vs as part of the full plan: identical.
+        spec = get_spec("ablation-halflife")
+        config = spec.make_config(quick=True)
+        cells = spec.plan(config)
+        alone = spec.run_cell(config, cells[-1])
+        in_order = {key: spec.run_cell(config, key) for key in cells}
+        assert in_order[cells[-1]] == alone
+
+    def test_parallel_zero_auto_sizes(self):
+        result = run_experiment("ablation-halflife", quick=True, parallel=0)
+        assert result.data["runner"].parallel >= 1
+
+
+class TestResultCache:
+    def test_second_run_recomputes_nothing(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        first = run_experiment("ablation-halflife", quick=True, cache=cache)
+        second = run_experiment("ablation-halflife", quick=True, cache=cache)
+        assert first.data["runner"].cells_computed > 0
+        assert second.data["runner"].cells_computed == 0
+        assert second.data["runner"].cells_cached == \
+            first.data["runner"].cells_total
+        assert first.render() == second.render()
+
+    def test_cache_accepts_directory_path(self, tmp_path):
+        run_experiment("ablation-halflife", quick=True,
+                       cache=str(tmp_path / "cells"))
+        cache = ResultCache(str(tmp_path / "cells"))
+        assert sum(1 for _ in cache.entries()) > 0
+
+    def test_quick_and_full_configs_never_share_entries(self, tmp_path):
+        spec = get_spec("table1")
+        quick = spec.make_config(quick=True)
+        full = spec.make_config(quick=False)
+        assert quick.jobs_per_method != full.jobs_per_method
+        cell = spec.plan(quick)[0]
+        assert cache_key(spec, quick, cell) != cache_key(spec, full, cell)
+
+    def test_calibration_changes_invalidate(self):
+        spec = get_spec("table1")
+        a = tiny_table1()
+        b = tiny_table1()
+        cal = b.calibration
+        b.calibration = dataclasses.replace(
+            cal, ssh=dataclasses.replace(
+                cal.ssh, session_setup=cal.ssh.session_setup + 1.0))
+        cell = spec.plan(a)[0]
+        assert cache_key(spec, a, cell) != cache_key(spec, b, cell)
+
+    def test_cell_identity_checked_on_load(self, tmp_path):
+        spec = get_spec("ablation-halflife")
+        config = spec.make_config(quick=True)
+        cells = spec.plan(config)
+        cache = ResultCache(str(tmp_path))
+        cache.put(spec, config, cells[0], {"x": 1}, 0.1)
+        loaded = cache.get(spec, config, cells[0])
+        assert loaded is not None and loaded["payload"] == {"x": 1}
+        assert cache.get(spec, config, cells[1]) is None
+
+    def test_clear_and_summary(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        run_experiment("ablation-halflife", quick=True, cache=cache)
+        rows = cache.summary()
+        assert rows and rows[0]["experiment"] == "ablation-halflife"
+        removed = cache.clear("ablation-halflife")
+        assert removed == rows[0]["cells"]
+        assert cache.summary() == []
+
+
+class TestConfigCodecs:
+    def test_every_registered_config_round_trips(self):
+        for name, spec in sorted(all_specs().items()):
+            for quick in (False, True):
+                config = spec.make_config(quick=quick)
+                data = config.to_key_dict()
+                assert "calibration" not in data, name
+                clone = type(config).from_dict(data)
+                assert clone.to_key_dict() == data, name
+                # Semantic fields survive the round trip exactly.
+                for field in dataclasses.fields(config):
+                    if field.name == "calibration":
+                        continue
+                    assert getattr(clone, field.name) == \
+                        getattr(config, field.name), (name, field.name)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises((TypeError, ValueError)):
+            Table1Config.from_dict({"jobs_per_method": 3, "bogus": 1})
+
+    def test_plan_covers_and_orders_cells(self):
+        for name, spec in sorted(all_specs().items()):
+            config = spec.make_config(quick=True)
+            cells = spec.plan(config)
+            assert cells, name
+            assert len(set(cells)) == len(cells), name
+            for cell in cells:
+                assert isinstance(cell, tuple), name
+                assert all(isinstance(part, str) for part in cell), name
+
+
+class TestScenarioFacade:
+    def test_campus_world_matches_legacy_builder(self):
+        from repro.grid import campus_grid
+
+        handle = Scenario(sites=1, scenario="campus", nodes_per_site=2,
+                          seed=9, publish=False).build()
+        legacy = campus_grid(seed=9, n_nodes=2)
+        assert sorted(handle.testbed.sites) == sorted(legacy.sites)
+        assert handle.target == "uab"
+        assert handle.node().name == legacy.site("uab").nodes[0].name
+
+    def test_europe_world_has_no_default_target(self):
+        handle = Scenario(sites=3, scenario="europe", seed=4).build()
+        assert handle.target is None
+        with pytest.raises(ValueError):
+            handle.site()
+        assert handle.site("site00") is not None
+
+    def test_trace_flag_installs_tracer(self):
+        handle = Scenario(sites=1, seed=2, trace=True).build()
+        assert handle.tracer is not None
+
+    def test_broker_is_lazy_and_single(self):
+        handle = Scenario(sites=1, seed=3).build()
+        assert handle._broker is None
+        broker = handle.broker
+        assert handle.broker is broker
+
+    def test_configure_broker_conflicts_with_lazy_broker(self):
+        from repro.core import BrokerConfig
+
+        handle = Scenario(sites=1, seed=3).build()
+        _ = handle.broker
+        with pytest.raises(RuntimeError):
+            handle.configure_broker(BrokerConfig())
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            Scenario(scenario="moon").build()
+        with pytest.raises(ValueError):
+            Scenario(sites=0).build()
+
+
+class TestShardIndependence:
+    def test_world_seed_depends_on_cell_not_shard(self):
+        """Running a late cell first yields the same numbers as running
+        it last: the world seed derives from the cell's canonical index."""
+        spec = get_spec("fig6")
+        config = spec.make_config(quick=True)
+        config.sequences = 20
+        cells = spec.plan(config)
+        reversed_payloads = {key: spec.run_cell(config, key)
+                             for key in reversed(cells)}
+        forward_payloads = {key: spec.run_cell(config, key)
+                            for key in cells}
+        for key in cells:
+            assert forward_payloads[key].values == \
+                reversed_payloads[key].values, key
