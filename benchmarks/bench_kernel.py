@@ -5,7 +5,7 @@ throughput so regressions in the kernel/network layers are visible.
 """
 
 from repro.net import Listener, Network, connect
-from repro.sim import Environment, RandomStreams, Store
+from repro.sim import AnyOf, Environment, RandomStreams, Store, Timer
 
 
 def test_bench_event_throughput(benchmark):
@@ -68,6 +68,78 @@ def test_bench_store_pingpong(benchmark):
 
         env.process(side_a())
         proc = env.process(side_b())
+        env.run()
+        return True
+
+    assert benchmark(run)
+
+
+def test_bench_fanin_anyof(benchmark):
+    """Wide AnyOf fan-in: the lazy-detach Condition path.
+
+    The seed's decision-time callback removal made this quadratic in the
+    fan width; with lazy detach the losers just early-return.
+    """
+
+    def run():
+        env = Environment()
+
+        def waiter():
+            for _ in range(50):
+                events = [env.timeout(i + 1, value=i) for i in range(500)]
+                result = yield AnyOf(env, events)
+                assert list(result.values()) == [0]
+
+        env.process(waiter())
+        env.run()
+        return env.now
+
+    assert benchmark(run) > 0
+
+
+def test_bench_timer_churn(benchmark):
+    """Re-armable Timer vs the seed's timeout-per-tick idiom.
+
+    Models the stream-buffer pattern: arm a deadline, cancel it almost
+    every time (a synchronous flush wins the race), occasionally let it
+    fire.  With lazy tombstones this allocates no per-tick events.
+    """
+
+    def run():
+        env = Environment()
+        fired = [0]
+
+        def churner():
+            t = Timer(env, callback=lambda tm: fired.__setitem__(
+                0, fired[0] + 1))
+            for i in range(20_000):
+                t.arm(5.0)
+                if i % 100 == 99:
+                    yield env.timeout(6.0)  # let this one fire
+                else:
+                    yield env.timeout(0.001)
+                    t.cancel()
+
+        env.process(churner())
+        env.run()
+        return fired[0]
+
+    assert benchmark(run) == 200
+
+
+def test_bench_zero_delay_lanes(benchmark):
+    """Zero-delay succeed chains: pure deque-lane traffic, no heap."""
+
+    def run():
+        env = Environment()
+
+        def chain():
+            for _ in range(20_000):
+                ev = env.event()
+                ev.succeed()
+                yield ev
+
+        env.process(chain())
         env.run()
         return True
 

@@ -129,8 +129,12 @@ class FairShareAccounting:
             acct.priority = beta * acct.priority + (1.0 - beta) * usage
 
     def _update_loop(self) -> Generator:
+        # One re-armable timer for the lifetime of the decay sampler — the
+        # eq. 1 update fires every dt for the whole run, so a per-tick
+        # Timeout allocation is pure churn.
+        tick = self.env.timer(name="fairshare/dt")
         while True:
-            yield self.env.timeout(self.config.update_interval)
+            yield tick.arm(self.config.update_interval)
             self.step()
 
     # -- admission --------------------------------------------------------

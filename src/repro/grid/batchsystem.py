@@ -15,7 +15,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, List, Optional
 
-from ..sim import Environment, Event, Interrupt, RandomStreams
+from ..sim import Environment, Event, Interrupt, RandomStreams, Timer
 from .errors import QueueFullError
 from .workernode import Behavior, MachineContext, WorkerNode
 
@@ -99,7 +99,14 @@ class LocalBatchSystem:
         self.queue: List[BatchHandle] = []
         self.running: Dict[str, BatchHandle] = {}
         self._handle_counter = itertools.count(1)
-        self._kick = env.event()
+        #: One re-armable cycle timer replaces the seed's per-cycle
+        #: ``timeout | kick`` idiom (which allocated a timeout, a fresh
+        #: kick event, and an AnyOf condition every cycle and left the
+        #: losing timeout dead in the heap).  ``_wake`` simply re-arms the
+        #: timer to *now*, so a submission/completion still triggers an
+        #: immediate dispatch cycle.
+        self._cycle_timer = Timer(env, name=f"lrms/{site}/cycle")
+        self._kicked = False
         self._proc = env.process(self._scheduler_loop(), name=f"lrms/{site}")
 
     # -- published state (feeds the MDS advert) ----------------------------
@@ -159,15 +166,18 @@ class LocalBatchSystem:
 
     # -- internals ---------------------------------------------------------
     def _wake(self) -> None:
-        if not self._kick.triggered:
-            self._kick.succeed()
+        # Pull the next cycle forward to *now*.  The flag covers kicks that
+        # arrive before the scheduler process has started (or while it is
+        # between wakeup and re-arm), mirroring the pre-triggered-kick
+        # behaviour of the seed implementation.
+        self._kicked = True
+        self._cycle_timer.restart(0.0)
 
     def _scheduler_loop(self) -> Generator:
         while True:
-            timeout = self.env.timeout(self.cycle_interval)
-            yield timeout | self._kick
-            if self._kick.triggered:
-                self._kick = self.env.event()
+            if not self._kicked:
+                yield self._cycle_timer.restart(self.cycle_interval)
+            self._kicked = False
             self._dispatch_cycle()
 
     def _order_queue(self) -> List[BatchHandle]:

@@ -76,6 +76,9 @@ class MdsPublisher:
         self.index_host = index_host
         self.advert_fn = advert_fn
         self.period = period
+        #: Re-armed in place every refresh instead of allocating a fresh
+        #: Timeout per period (advert-freshness churn scales with sites).
+        self._period_timer = env.timer(name=f"mds-push/{site}/period")
         self._proc = env.process(self._loop(), name=f"mds-push/{site}")
 
     def _loop(self) -> Generator:
@@ -92,7 +95,7 @@ class MdsPublisher:
             except NetworkError:
                 connected = False  # index unreachable; retry next period
             jittered = self.rng.jitter(f"mds-push/{self.site}", self.period, 0.05)
-            yield self.env.timeout(jittered)
+            yield self._period_timer.arm(jittered)
 
 
 def query_index(env: Environment, network: Network, rng: RandomStreams,

@@ -37,6 +37,7 @@ from .process import Process
 from .resources import Container, PriorityRequest, PriorityResource, Request, Resource
 from .rng import RandomStreams
 from .store import FilterStore, Store
+from .timers import Timer
 
 __all__ = [
     "AllOf",
@@ -65,6 +66,7 @@ __all__ = [
     "Store",
     "SummaryStats",
     "Timeout",
+    "Timer",
     "TraceRecord",
     "URGENT",
 ]

@@ -1,15 +1,66 @@
-"""The simulation environment: clock, event queue, and run loop."""
+"""The simulation environment: clock, two-lane event queue, and run loop.
+
+Kernel hot-path design (the "two-lane scheduler")
+-------------------------------------------------
+Every scheduled entry is a ``(time, priority, eid)``-ordered 4-tuple
+``(time, priority, eid, event)``.  ``eid`` is a strictly increasing
+insertion id, so the tuple order is a *total* order and runs are fully
+deterministic.  The seed kernel kept one binary heap and paid an
+O(log n) sift plus tuple comparison churn for **every** event — including
+the zero-delay Initialize/succeed events that dominate broker
+matchmaking and streaming chunk traffic.  This kernel splits the queue
+into three structures that *jointly* realise the exact same total order:
+
+* ``_urgent`` — a FIFO deque for zero-delay URGENT entries;
+* ``_fifo``   — a FIFO deque for zero-delay NORMAL entries;
+* ``_heap``   — the binary heap, now only for genuinely timed entries.
+
+A zero-delay entry appended at the current time always carries a larger
+``eid`` than everything appended to the same lane before it, and the
+clock never moves backwards — so each lane is *internally* sorted by
+``(time, priority, eid)`` and the globally next event is simply the
+smallest of (at most) three lane heads.  Zero-delay traffic therefore
+costs one deque append + one popleft instead of two O(log n) heap
+operations, and the heap itself stays smaller, which speeds up the
+timed traffic too.
+
+Several producers bypass :meth:`Environment.schedule` and append
+directly to the lanes / heap (``Event.succeed``/``fail``/``trigger``,
+``Timeout.__init__``, ``Process._resume``, ``Timer.arm``).  The
+invariants they must maintain are:
+
+1. bump ``env._eid`` by one and use the new value in the entry;
+2. zero-delay entries go to the lane matching their priority with
+   ``time == env._now``; anything with a positive delay is heap-pushed;
+3. only :class:`~repro.sim.timers.Timer` instances may appear in heap
+   entries with ``event._is_timer`` true (lanes never hold timers), so
+   the lane pop path stays free of timer bookkeeping.
+
+Cancellable timers (lazy tombstones)
+------------------------------------
+:class:`~repro.sim.timers.Timer` supports ``cancel()`` and re-arming
+without O(n) heap surgery: stale heap entries are left in place and
+discarded when popped ("tombstones").  The pop path recognises them via
+``event._is_timer`` and :func:`_pop_timer_shot`; a tombstone pop does
+*not* advance the clock, so cancelled timers are invisible to the
+simulation outcome.  See ``sim/timers.py`` for the shot/deadline
+protocol.
+"""
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, List, Optional, Tuple
+from collections import deque
+from functools import partial
+from heapq import heappop, heappush
+from typing import Any, Deque, List, Optional, Tuple
 
 from .errors import EmptySchedule, SimulationError, StopSimulation
-from .events import AllOf, AnyOf, Event, NORMAL, Timeout
-from .process import Process, ProcessGenerator
+from .events import AllOf, AnyOf, Event, NORMAL, Timeout, URGENT
 
 Infinity = float("inf")
+
+#: A scheduled queue entry.
+Entry = Tuple[float, int, int, Event]
 
 
 class Environment:
@@ -20,16 +71,36 @@ class Environment:
     deterministic.
     """
 
+    # PERF: the kernel reads/writes ``_now``/``_eid``/the three queues and
+    # ``_active_proc`` several times per processed event; slot storage makes
+    # each of those accesses a fixed-offset load instead of a dict lookup.
+    # ``event``/``timeout`` are *instance* slots holding partials of the
+    # constructors (one Python frame cheaper per call than a method).
+    __slots__ = ("_now", "_urgent", "_fifo", "_heap", "_eid", "_active_proc",
+                 "tracer", "event", "timeout")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        #: Zero-delay URGENT lane (see module docstring).
+        self._urgent: Deque[Entry] = deque()
+        #: Zero-delay NORMAL lane.
+        self._fifo: Deque[Entry] = deque()
+        #: Timed events (and pending timer shots) only.
+        self._heap: List[Entry] = []
         self._eid = 0
-        self._active_proc: Optional[Process] = None
+        self._active_proc: Optional["Process"] = None
         #: Observability hook (see :mod:`repro.obs`).  ``None`` by default;
         #: instrumented layers read this attribute and skip all span and
         #: counter bookkeeping when unset, so tracing has no cost — not
         #: even an allocation — unless a tracer is installed.
         self.tracer: Optional[Any] = None
+        # PERF: partial-bound constructors instead of factory methods —
+        # `env.timeout(delay, value=None)` and `env.event()` keep their
+        # call signatures but cost one Python frame less per call.
+        # `env.timeout` sits on the hottest path of the whole project
+        # (one call per simulated delay).
+        self.event = partial(Event, self)
+        self.timeout = partial(Timeout, self)
 
     # -- introspection ---------------------------------------------------
     @property
@@ -38,27 +109,42 @@ class Environment:
         return self._now
 
     @property
-    def active_process(self) -> Optional[Process]:
+    def active_process(self) -> Optional["Process"]:
         """The process whose generator is currently executing, if any."""
         return self._active_proc
 
     def peek(self) -> float:
-        """Time of the next scheduled event (``inf`` if none)."""
-        return self._queue[0][0] if self._queue else Infinity
+        """Time of the next scheduled entry (``inf`` if none).
+
+        Note: a pending :class:`Timer` shot that was cancelled or re-armed
+        later is still an entry (a lazy tombstone), so ``peek`` may report
+        the tombstone's pop time rather than the next *live* event.
+        """
+        best = Infinity
+        if self._urgent:
+            best = self._urgent[0][0]
+        if self._fifo and self._fifo[0][0] < best:
+            best = self._fifo[0][0]
+        if self._heap and self._heap[0][0] < best:
+            best = self._heap[0][0]
+        return best
 
     def __len__(self) -> int:
-        return len(self._queue)
+        """Number of scheduled entries (including uncollected tombstones)."""
+        return len(self._urgent) + len(self._fifo) + len(self._heap)
 
     # -- event factories ---------------------------------------------------
-    def event(self) -> Event:
-        """Create a new untriggered event."""
-        return Event(self)
+    # ``event()`` and ``timeout(delay, value=None)`` are instance slots set
+    # in ``__init__`` (partials of Event/Timeout — see the PERF note there);
+    # they behave exactly like the methods they replace.
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires after ``delay`` time units."""
-        return Timeout(self, delay, value)
+    def timer(self, callback: Optional[Any] = None,
+              name: Optional[str] = None) -> "Timer":
+        """Create an (unarmed) cancellable/re-armable :class:`Timer`."""
+        return Timer(self, callback=callback, name=name)
 
-    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+    def process(self, generator: "ProcessGenerator",
+                name: Optional[str] = None) -> "Process":
         """Start a new process from a generator function call."""
         return Process(self, generator, name=name)
 
@@ -71,16 +157,58 @@ class Environment:
     # -- scheduling --------------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Put a triggered event on the queue ``delay`` from now."""
-        self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        self._eid = eid = self._eid + 1
+        if delay == 0.0:
+            if priority == NORMAL:
+                self._fifo.append((self._now, NORMAL, eid, event))
+                return
+            if priority == URGENT:
+                self._urgent.append((self._now, URGENT, eid, event))
+                return
+        heappush(self._heap, (self._now + delay, priority, eid, event))
+
+    def _pop(self) -> Optional[Entry]:
+        """Pop the globally next entry, or ``None`` when the queue is empty.
+
+        Timer tombstones are *not* filtered here — callers must route
+        entries whose event has ``_is_timer`` through
+        :meth:`~repro.sim.timers.Timer._pop_shot`.
+        """
+        urgent, fifo, heap = self._urgent, self._fifo, self._heap
+        if urgent or fifo:
+            entry = urgent[0] if urgent else None
+            src = 0
+            if fifo and (entry is None or fifo[0] < entry):
+                entry = fifo[0]
+                src = 1
+            if heap and heap[0] < entry:
+                return heappop(heap)
+            if src:
+                return fifo.popleft()
+            return urgent.popleft()
+        if heap:
+            return heappop(heap)
+        return None
 
     def step(self) -> None:
-        """Process the next event on the queue."""
-        try:
-            self._now, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        """Process the next event on the queue.
 
+        Lazy timer tombstones are collected silently (they consume queue
+        entries but neither advance the clock nor count as the processed
+        event); a live timer firing *does* count as one step.
+        """
+        while True:
+            entry = self._pop()
+            if entry is None:
+                raise EmptySchedule()
+            event = entry[3]
+            if event._is_timer:
+                if event._pop_shot(entry):
+                    return  # fired: one event processed
+                continue  # tombstone/deferral: keep looking
+            break
+
+        self._now = entry[0]
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:
             # Event was already processed (can happen for events scheduled
@@ -89,7 +217,7 @@ class Environment:
         for callback in callbacks:
             callback(event)
 
-        if not event._ok and not event.defused:
+        if not event._ok and not event._defused:
             exc = event._value
             if isinstance(exc, BaseException):
                 raise exc
@@ -119,16 +247,114 @@ class Environment:
                 return until.value
             until.callbacks.append(_stop_simulate)
 
+        # PERF: this is the single hottest loop of the whole project — it is
+        # Environment.step() inlined with the queue structures bound to
+        # locals, saving a method call, several attribute loads, and the
+        # per-event try/except of the step-until-EmptySchedule protocol.
+        # It additionally inlines the success fast path of
+        # Process._resume: a Process registers *itself* as the callback,
+        # so `cb.__class__ is Process` identifies a waiting process and
+        # the loop advances its generator without the _resume frame.
+        # Any semantic change here must be mirrored in step() and in
+        # Process._resume (the generic fallback both still use).
+        urgent, fifo, heap = self._urgent, self._fifo, self._heap
+        hpop = heappop
+        proc_cls = Process
         try:
             while True:
-                self.step()
+                # -- select + pop the (time, priority, eid)-smallest entry.
+                # Lane pops skip the timer check entirely (lanes never hold
+                # timers — invariant 3 of the module docstring).
+                if urgent or fifo:
+                    entry = urgent[0] if urgent else None
+                    if fifo and (entry is None or fifo[0] < entry):
+                        entry = fifo[0]
+                        if heap and heap[0] < entry:
+                            entry = hpop(heap)
+                            event = entry[3]
+                            if event._is_timer:
+                                event._pop_shot(entry)
+                                continue
+                        else:
+                            fifo.popleft()
+                            event = entry[3]
+                    elif heap and heap[0] < entry:
+                        entry = hpop(heap)
+                        event = entry[3]
+                        if event._is_timer:
+                            event._pop_shot(entry)
+                            continue
+                    else:
+                        urgent.popleft()
+                        event = entry[3]
+                elif heap:
+                    entry = hpop(heap)
+                    event = entry[3]
+                    if event._is_timer:
+                        event._pop_shot(entry)
+                        continue
+                else:
+                    break  # queue drained
+
+                self._now = entry[0]
+                callbacks = event.callbacks
+                if callbacks is None:
+                    # Already processed (trigger-chaining); clock advanced,
+                    # nothing else to do — mirrors step().
+                    continue
+                event.callbacks = None
+                for cb in callbacks:
+                    if cb.__class__ is proc_cls and event._ok:
+                        # -- inlined Process._resume success fast path.
+                        self._active_proc = cb
+                        try:
+                            next_event = cb._send(event._value)
+                        except StopIteration as stop:
+                            # Process finished normally.
+                            cb._target = None
+                            cb._ok = True
+                            cb._value = stop.value
+                            self._eid = eid = self._eid + 1
+                            fifo.append((self._now, NORMAL, eid, cb))
+                        except BaseException as exc:
+                            # Process died -> fail the process event.
+                            cb._target = None
+                            cb._ok = False
+                            cb._value = exc
+                            self._eid = eid = self._eid + 1
+                            fifo.append((self._now, NORMAL, eid, cb))
+                        else:
+                            try:
+                                ncb = next_event.callbacks
+                            except AttributeError:
+                                cb._fail_nonevent(next_event)
+                            else:
+                                if ncb is not None:
+                                    # Register + suspend.
+                                    ncb.append(cb)
+                                    cb._target = next_event
+                                else:
+                                    # Yielded event already processed:
+                                    # continue with its stored outcome
+                                    # through the generic path.
+                                    cb._resume(next_event)
+                        self._active_proc = None
+                    else:
+                        cb(event)
+
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        raise exc
+                    raise SimulationError(repr(exc))  # pragma: no cover
         except StopSimulation as stop:
             return stop.value
-        except EmptySchedule:
-            if isinstance(until, Event) and not until.triggered:
-                raise SimulationError(
-                    "No scheduled events left but 'until' event was not triggered"
-                ) from None
+
+        # Queue drained without the until event firing.
+        if isinstance(until, Event) and not until.triggered:
+            raise SimulationError(
+                "No scheduled events left but 'until' event was not triggered"
+            )
         return None
 
 
@@ -141,3 +367,9 @@ def _stop_simulate(event: Event) -> None:
             raise exc
         raise SimulationError(repr(exc))  # pragma: no cover - defensive
     raise StopSimulation(event._value)
+
+
+# Re-exported for typing only (the factory methods import lazily to keep
+# import order acyclic: events -> timers/process -> environment).
+from .process import Process, ProcessGenerator  # noqa: E402  (cycle-free: see note)
+from .timers import Timer  # noqa: E402

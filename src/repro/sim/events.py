@@ -6,11 +6,20 @@ SimPy): an :class:`Event` is a one-shot promise living inside an
 suspend themselves; when the event is *triggered* it is placed on the event
 queue, and when the environment *processes* it every registered callback is
 invoked exactly once.
+
+PERF note: ``succeed``/``fail``/``trigger`` and ``Timeout.__init__`` append
+queue entries directly to the environment's zero-delay FIFO lane / heap
+instead of going through :meth:`Environment.schedule`.  They observe the
+scheduling invariants documented in ``sim/environment.py`` (bump ``_eid``,
+lane entries carry ``time == env._now``); the resulting
+``(time, priority, eid)`` total order is bit-for-bit the order the seed
+kernel produced.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+from heapq import heappush
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional
 
 from .errors import SimulationError
 
@@ -42,6 +51,9 @@ class Event:
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
+    #: Kernel pop-path discriminator; overridden by :class:`Timer`.
+    _is_timer = False
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         #: Callbacks to run when the event is processed; ``None`` afterwards.
@@ -64,7 +76,7 @@ class Event:
     @property
     def ok(self) -> bool:
         """True if the event succeeded.  Only meaningful once triggered."""
-        if not self.triggered:
+        if self._value is PENDING:
             raise SimulationError(f"Value of {self!r} is not yet available")
         return self._ok
 
@@ -79,7 +91,9 @@ class Event:
     @property
     def defused(self) -> bool:
         """True if a failure was acknowledged (prevents run() from raising)."""
-        return self._defused
+        # getattr: Timeout/Initialize never fail and skip initialising the
+        # slot on their flattened construction path.
+        return getattr(self, "_defused", False)
 
     def defuse(self) -> None:
         self._defused = True
@@ -87,30 +101,36 @@ class Event:
     # -- triggering -----------------------------------------------------
     def trigger(self, event: "Event") -> None:
         """Trigger with the state of another event (callback chaining)."""
-        if self.triggered:
+        if self._value is not PENDING:
             # Same guard as succeed()/fail(): re-triggering would schedule
             # the event a second time and silently overwrite its value.
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = event._ok
         self._value = event._value
-        self.env.schedule(self)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        env._fifo.append((env._now, NORMAL, eid, self))
 
     def succeed(self, value: Any = None) -> "Event":
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        env._fifo.append((env._now, NORMAL, eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        env._fifo.append((env._now, NORMAL, eid, self))
         return self
 
     # -- combinators ----------------------------------------------------
@@ -129,14 +149,31 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
-        if delay < 0:
-            raise ValueError(f"Negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+    def __init__(self, env: "Environment", delay: float, value: Any = None,
+                 *, _push=heappush, _NORMAL=NORMAL) -> None:
+        # PERF: flattened Event.__init__ + Environment.schedule — a Timeout
+        # is born triggered, so both halves collapse to slot stores plus
+        # one queue append (FIFO lane when zero-delay, heap otherwise).
+        # ``_defused`` is intentionally left unset: it is only ever read
+        # behind a ``not event._ok`` guard and a Timeout is always ok.
+        # ``_push``/``_NORMAL`` are call-local bindings of module globals
+        # (never pass them); the delay comparisons are fused so the common
+        # positive-delay path costs a single float compare.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self.delay = delay
+        if delay > 0.0:
+            env._eid = eid = env._eid + 1
+            _push(env._heap, (env._now + delay, _NORMAL, eid, self))
+        elif delay == 0.0:
+            env._eid = eid = env._eid + 1
+            env._fifo.append((env._now, _NORMAL, eid, self))
+        else:
+            # No eid was consumed: a rejected timeout must not perturb the
+            # deterministic insertion-id sequence.
+            raise ValueError(f"Negative delay {delay}")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Timeout({self.delay}) object at {id(self):#x}>"
@@ -148,29 +185,43 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment", process: Any) -> None:
-        super().__init__(env)
-        assert self.callbacks is not None
-        self.callbacks.append(process._resume)
-        self._ok = True
+        # PERF: flattened like Timeout; always zero-delay URGENT.
+        # ``_defused`` left unset — only read behind ``not _ok`` (see
+        # Timeout).
+        self.env = env
+        self.callbacks = [process]
         self._value = None
-        env.schedule(self, priority=URGENT)
+        self._ok = True
+        env._eid = eid = env._eid + 1
+        env._urgent.append((env._now, URGENT, eid, self))
 
 
 class ConditionValue:
-    """Ordered mapping of the events that fired inside a condition."""
+    """Ordered mapping of the events that fired inside a condition.
 
-    __slots__ = ("events",)
+    Backed by the insertion-ordered ``events`` list (iteration order) plus
+    an identity set for O(1) ``in``/``[]`` — the seed implementation
+    scanned the list, making ``value[event]`` O(n) and a full readout of
+    an n-way :class:`AllOf` O(n^2).
+    """
+
+    __slots__ = ("events", "_members")
 
     def __init__(self) -> None:
         self.events: List[Event] = []
+        self._members: set = set()
+
+    def add(self, event: Event) -> None:
+        self.events.append(event)
+        self._members.add(event)
 
     def __getitem__(self, key: Event) -> Any:
-        if key not in self.events:
+        if key not in self._members:
             raise KeyError(str(key))
         return key._value
 
     def __contains__(self, key: Event) -> bool:
-        return key in self.events
+        return key in self._members
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, ConditionValue):
@@ -202,7 +253,20 @@ class ConditionValue:
 
 
 class Condition(Event):
-    """Waits for a boolean combination of events (``&`` / ``|``)."""
+    """Waits for a boolean combination of events (``&`` / ``|``).
+
+    Fan-in bookkeeping is O(1) per member event: the condition registers
+    one ``_check`` callback per member and *leaves it in place* when the
+    condition decides.  The seed kernel instead walked every member (and
+    recursed into nested conditions) doing ``list.remove`` — quadratic
+    when one event feeds many conditions (the paper's §4.3 pattern of one
+    shadow fanning out to many Console Agents) and O(n) extra work on
+    every wide ``AnyOf``.  A leftover ``_check`` on a decided condition
+    is a single O(1) early-return when the member eventually fires; if
+    the member *fails* after the condition is decided the failure is
+    acknowledged (defused) — the same policy the kernel already applied
+    to late losers of an ``AnyOf`` whose winner was pre-triggered.
+    """
 
     __slots__ = ("_evaluate", "_events", "_count")
 
@@ -217,61 +281,54 @@ class Condition(Event):
         self._events = list(events)
         self._count = 0
 
+        # One pass: validate the environment and register/immediately check
+        # each member (pre-triggered members count right away).  PERF: the
+        # seed made two passes; on a 500-wide fan-in the merged loop halves
+        # the construction-time iteration count.
+        check = self._check
         for event in self._events:
             if event.env is not env:
                 raise ValueError("Events from different environments cannot be mixed")
-
-        # Check immediately if the condition already holds (e.g. all events
-        # pre-triggered) -- but do so via an urgent event so that callbacks
-        # still run within the loop.
-        for event in self._events:
-            if event.callbacks is None:
-                self._check(event)
+            callbacks = event.callbacks
+            if callbacks is None:
+                check(event)
             else:
-                event.callbacks.append(self._check)
+                callbacks.append(check)
 
-        if not self._events and not self.triggered:
+        if not self._events and self._value is PENDING:
             self.succeed(ConditionValue())
 
     def _populate_value(self, value: ConditionValue) -> None:
         for event in self._events:
             if isinstance(event, Condition):
                 event._populate_value(value)
-            elif event.callbacks is None and event.triggered:
-                value.events.append(event)
+            elif event.callbacks is None and event._value is not PENDING:
+                value.add(event)
 
     def _build_value(self, event: Event) -> None:
-        self._remove_check_callbacks()
         if event._ok:
             value = ConditionValue()
             self._populate_value(value)
             self._ok = True
             self._value = value
-            self.env.schedule(self)
-
-    def _remove_check_callbacks(self) -> None:
-        for event in self._events:
-            if event.callbacks is not None and self._check in event.callbacks:
-                event.callbacks.remove(self._check)
-            if isinstance(event, Condition):
-                event._remove_check_callbacks()
+            env = self.env
+            env._eid = eid = env._eid + 1
+            env._fifo.append((env._now, NORMAL, eid, self))
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
+            # The condition's outcome is already decided; this member lost
+            # the race (its `_check` is intentionally left registered —
+            # see the class docstring).  Acknowledge a late failure,
+            # otherwise Environment.step() re-raises it and crashes the
+            # whole run.
             if not event._ok and not event._defused:
-                # The condition's outcome is already decided, but a member
-                # that lost the race may still fail afterwards (e.g. an
-                # AnyOf whose winner was pre-triggered at construction, so
-                # the loser kept this callback).  Acknowledge the failure,
-                # otherwise Environment.step() re-raises it and crashes the
-                # whole run.
                 event.defuse()
             return
         self._count += 1
         if not event._ok:
             # Fail the condition with the same exception.
             event.defuse()
-            self._remove_check_callbacks()
             self.fail(event._value)
         elif self._evaluate(self._events, self._count):
             self._build_value(event)

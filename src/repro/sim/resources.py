@@ -12,7 +12,8 @@ Requests support the context-manager protocol so the common idiom is::
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Any, List, Optional
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, List, Optional
 
 from .errors import SimulationError
 from .events import Event
@@ -67,7 +68,9 @@ class Resource:
         self.env = env
         self._capacity = capacity
         self.users: List[Request] = []
-        self.queue: List[Request] = []
+        #: FIFO wait queue.  A deque: grants always pop the head, which is
+        #: O(n) on a list; ``remove`` (withdrawals) stays O(n) either way.
+        self.queue: Deque[Request] = deque()
 
     # -- public API -----------------------------------------------------
     @property
@@ -110,7 +113,7 @@ class Resource:
 
     def _grant_next(self) -> None:
         while self.queue and len(self.users) < self._capacity:
-            nxt = self.queue.pop(0)
+            nxt = self.queue.popleft()
             self.users.append(nxt)
             nxt.succeed()
 
@@ -179,8 +182,9 @@ class Container:
         self.env = env
         self._capacity = capacity
         self._level = float(init)
-        self._getters: List[tuple] = []  # (amount, event)
-        self._putters: List[tuple] = []
+        # FIFO wait queues (amount, event); deques for O(1) head pops.
+        self._getters: Deque[tuple] = deque()
+        self._putters: Deque[tuple] = deque()
 
     @property
     def capacity(self) -> float:
@@ -215,12 +219,12 @@ class Container:
                 if self._level + amount <= self._capacity:
                     self._level += amount
                     event.succeed(amount)
-                    self._putters.pop(0)
+                    self._putters.popleft()
                     progress = True
             if self._getters:
                 amount, event = self._getters[0]
                 if amount <= self._level:
                     self._level -= amount
                     event.succeed(amount)
-                    self._getters.pop(0)
+                    self._getters.popleft()
                     progress = True

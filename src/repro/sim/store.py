@@ -9,7 +9,7 @@ broker uses for matchmaking mailboxes.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Deque, Optional
 
 from .events import Event
 
@@ -53,8 +53,11 @@ class Store:
         self.env = env
         self._capacity = capacity
         self.items: Deque[Any] = deque()
-        self._putters: List[StorePut] = []
-        self._getters: List[StoreGet] = []
+        # Wait queues are deques: the settle loop always consumes from the
+        # head (FIFO), and a list head-pop is O(n) per wakeup.  Order is
+        # unchanged — deque append/popleft preserves arrival order exactly.
+        self._putters: Deque[StorePut] = deque()
+        self._getters: Deque[StoreGet] = deque()
 
     @property
     def capacity(self) -> float:
@@ -85,12 +88,13 @@ class Store:
             progress = False
             # Move queued puts into the store while there is room.
             while self._putters and len(self.items) < self._capacity:
-                put = self._putters.pop(0)
+                put = self._putters.popleft()
                 self.items.append(put.item)
                 put.succeed()
                 progress = True
-            # Serve waiting getters.
-            remaining: List[StoreGet] = []
+            # Serve waiting getters (FIFO; unserved ones are re-queued in
+            # their original relative order).
+            remaining: Deque[StoreGet] = deque()
             for getter in self._getters:
                 if getter._cancelled or getter.triggered:
                     progress = True

@@ -1,0 +1,170 @@
+"""Cancellable, re-armable timeout handles with lazy tombstone deletion.
+
+The seed kernel offered only one-shot :class:`~repro.sim.events.Timeout`
+events, so every timer-churn site (stream-buffer flush deadlines, sender
+retry pacing, LRMS scheduling cycles, MDS refresh, fair-share sampling)
+allocated a fresh event per tick — and the "timeout raced against a
+wakeup" idiom (``yield timeout | kick``) additionally left a dead heap
+entry *and* a dead condition behind on every cycle.
+
+:class:`Timer` replaces that idiom.  One Timer object lives as long as
+its owner and is re-armed in place:
+
+* ``arm(delay)`` (re)sets the deadline to ``now + delay``;
+* ``cancel()`` clears the deadline;
+* when the deadline passes, the timer *fires*: its persistent
+  ``callback`` (if any) runs first, then any one-shot waiters that
+  yielded the timer, exactly like an event being processed.
+
+Shot protocol (how this stays O(log n) amortised with zero heap surgery)
+-----------------------------------------------------------------------
+A *shot* is a heap entry ``(time, NORMAL, eid, timer)`` — the kernel's
+promise to look at the timer at ``time``.  The timer remembers at most
+one live shot (``_shot_eid``/``_shot_time``); arming only pushes a new
+shot when no pending shot pops early enough.  When the kernel pops a
+shot (:meth:`Timer._pop_shot`):
+
+* ``eid != _shot_eid``  — the shot was superseded by an earlier re-arm:
+  a pure **tombstone**; dropped without advancing the clock;
+* deadline is ``None``  — cancelled; tombstone, dropped likewise;
+* deadline is later     — the timer was lazily re-armed to a later
+  time; the shot is **deferred**: one new shot is pushed at the real
+  deadline (no clock advance);
+* otherwise             — **fire**.
+
+Consequences: re-arming to a later (or equal) deadline never adds a heap
+entry; cancelling leaves at most one tombstone per cancel, collected in
+O(log n) on pop, and a cancel immediately followed by a re-arm re-uses
+the pending shot and leaves none.  Compare with the seed idiom, which
+left one dead timeout per tick unconditionally.
+
+Timers never fail and always fire with ``value`` (default ``None``).
+Lanes never hold timers: shots always go on the heap, even for a
+zero-delay arm, keeping the kernel's zero-delay fast path branch-free.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from .events import Event, NORMAL, PENDING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .environment import Environment
+
+
+class Timer(Event):
+    """A cancellable, re-armable timer event.
+
+    Unlike plain events, a Timer may trigger many times: after it fires
+    it can be armed again, and waiters may ``yield`` it anew.  The
+    persistent ``callback`` (if given) runs on *every* firing.  Do not
+    ``succeed``/``fail`` a Timer; use ``arm``/``cancel``.
+    """
+
+    __slots__ = ("_callback", "_fire_value", "_deadline", "_shot_eid",
+                 "_shot_time", "name")
+
+    #: Pop-path discriminator read by the kernel (False on plain events).
+    _is_timer = True
+
+    def __init__(self, env: "Environment",
+                 callback: Optional[Callable[["Timer"], None]] = None,
+                 value: Any = None, name: Optional[str] = None) -> None:
+        super().__init__(env)
+        self._callback = callback
+        self._fire_value = value
+        #: Sim-time at which the timer should fire; ``None`` = disarmed.
+        self._deadline: Optional[float] = None
+        #: eid/pop-time of the single live pending shot (None = no shot).
+        self._shot_eid: Optional[int] = None
+        self._shot_time = 0.0
+        self.name = name
+
+    # -- state ----------------------------------------------------------
+    @property
+    def armed(self) -> bool:
+        """True while a deadline is set and has not fired yet."""
+        return self._deadline is not None
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """The pending fire time (``None`` when disarmed)."""
+        return self._deadline
+
+    # -- arming ----------------------------------------------------------
+    def arm(self, delay: float, value: Any = PENDING) -> "Timer":
+        """(Re-)arm to fire ``delay`` from now; returns self (yieldable).
+
+        Arming an already-armed timer simply moves the deadline; arming a
+        fired one resurrects it for another shot.  ``value`` optionally
+        replaces the payload the timer fires with.
+        """
+        if delay < 0:
+            raise ValueError(f"Negative delay {delay}")
+        if value is not PENDING:
+            self._fire_value = value
+        env = self.env
+        self._deadline = deadline = env._now + delay
+        # Reset one-shot event state so the timer can fire (again).
+        self._value = PENDING
+        self._ok = True
+        if self.callbacks is None:
+            self.callbacks = []
+        if self._shot_eid is not None and self._shot_time <= deadline:
+            # A pending shot already pops at or before the new deadline;
+            # _pop_shot will defer it to `deadline` then.  No new entry.
+            return self
+        env._eid = eid = env._eid + 1
+        self._shot_eid = eid
+        self._shot_time = deadline
+        heappush(env._heap, (deadline, NORMAL, eid, self))
+        return self
+
+    restart = arm  # re-arm reads better as `timer.restart(delay)` at call sites
+
+    def cancel(self) -> None:
+        """Disarm.  A pending shot becomes a lazy tombstone (or is re-used
+        by a subsequent :meth:`arm`)."""
+        self._deadline = None
+
+    # -- kernel pop path --------------------------------------------------
+    def _pop_shot(self, entry) -> bool:
+        """Handle a popped heap shot; return True iff the timer fired.
+
+        Tombstone and deferral pops do **not** advance the simulation
+        clock, so cancelled/re-armed shots are invisible to outcomes.
+        """
+        if entry[2] != self._shot_eid:
+            return False  # superseded by an earlier re-arm: tombstone
+        self._shot_eid = None
+        deadline = self._deadline
+        if deadline is None:
+            return False  # cancelled: tombstone
+        env = self.env
+        popped_at = entry[0]
+        if deadline > popped_at:
+            # Lazily re-armed to a later time: defer with one fresh shot.
+            env._eid = eid = env._eid + 1
+            self._shot_eid = eid
+            self._shot_time = deadline
+            heappush(env._heap, (deadline, NORMAL, eid, self))
+            return False
+        # Fire: behave exactly like an event being processed.
+        env._now = popped_at
+        self._deadline = None
+        self._value = self._fire_value
+        callbacks, self.callbacks = self.callbacks, None
+        callback = self._callback
+        if callback is not None:
+            callback(self)
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"armed@{self._deadline}" if self.armed else "disarmed"
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Timer{label} {state} at {id(self):#x}>"

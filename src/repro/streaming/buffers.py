@@ -7,15 +7,18 @@ machine is full, when a timeout occurs, when an 'end of line' is found."
 Input is forwarded "when the 'enter' key is hit".
 
 :class:`StreamBuffer` coalesces writes and emits flushed chunks into an
-outbox :class:`~repro.sim.Store`; a timer process implements the timeout
-trigger.
+outbox :class:`~repro.sim.Store`; a cancellable :class:`~repro.sim.Timer`
+implements the timeout trigger — it is armed when the buffer becomes
+dirty and cancelled by any synchronous flush, so the per-write hot path
+allocates no events at all (the seed used a dedicated timer process
+woken through a fresh event per dirty period).
 """
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import List, Optional
 
-from ..sim import Environment, Event, Store
+from ..sim import Environment, Store, Timer
 from .messages import StreamChunk, StreamName
 
 
@@ -40,10 +43,11 @@ class StreamBuffer:
         self._nbytes = 0
         self._eol_pending = False
         self._dirty_since: Optional[float] = None
-        self._wakeup: Event = env.event()
         self.flush_counts = {"eol": 0, "full": 0, "timeout": 0, "manual": 0}
+        self._timer: Optional[Timer] = None
         if flush_timeout is not None:
-            env.process(self._timer_loop(), name=f"{name}/timer")
+            self._timer = Timer(env, callback=self._on_timeout,
+                                name=f"{name}/timer")
 
     # -- producer side ------------------------------------------------------
     def write(self, data: str, nbytes: int, eol: bool) -> None:
@@ -59,8 +63,8 @@ class StreamBuffer:
             raise ValueError("nbytes must be >= 0")
         if self._dirty_since is None:
             self._dirty_since = self.env.now
-            if not self._wakeup.triggered:
-                self._wakeup.succeed()
+            if self._timer is not None:
+                self._timer.restart(self.flush_timeout)
         remaining = nbytes
         first = True
         while self._nbytes + remaining >= self.capacity:
@@ -71,14 +75,14 @@ class StreamBuffer:
             remaining -= take
             self._flush("full")
             if self._dirty_since is None and remaining > 0:
-                # The "full" flush reset the dirty clock; the residual tail
-                # (smaller than a line) starts a fresh timeout window.  The
-                # timer must also be re-armed here: if it is parked on the
-                # wakeup event, the residual would otherwise sit stranded
-                # past flush_timeout with nothing scheduled to flush it.
+                # The "full" flush reset the dirty clock (and cancelled the
+                # timer); the residual tail (smaller than a line) starts a
+                # fresh timeout window, so the timer must be re-armed or
+                # the residual would sit stranded past flush_timeout with
+                # nothing scheduled to flush it.
                 self._dirty_since = self.env.now
-                if not self._wakeup.triggered:
-                    self._wakeup.succeed()
+                if self._timer is not None:
+                    self._timer.restart(self.flush_timeout)
         if remaining > 0 or (nbytes == 0 and first):
             self._data.append(data if first else "")
             self._nbytes += remaining
@@ -102,6 +106,8 @@ class StreamBuffer:
     def _flush(self, reason: str) -> None:
         if self._nbytes == 0 and not self._data:
             self._dirty_since = None
+            if self._timer is not None:
+                self._timer.cancel()
             return
         chunk = StreamChunk(
             stream=self.stream,
@@ -114,23 +120,18 @@ class StreamBuffer:
         self._nbytes = 0
         self._eol_pending = False
         self._dirty_since = None
+        if self._timer is not None:
+            self._timer.cancel()
         self.flush_counts[reason] += 1
         tr = self.env.tracer
         if tr is not None:
             tr.count(f"flush_{reason}")
         self.outbox.put(chunk)
 
-    def _timer_loop(self) -> Generator:
+    def _on_timeout(self, _timer: Timer) -> None:
+        # Re-check: any synchronous flush cancels the timer, but be
+        # defensive against a same-instant write racing the firing.
         assert self.flush_timeout is not None
-        while True:
-            if self._dirty_since is None:
-                yield self._wakeup
-                self._wakeup = self.env.event()
-                continue
-            deadline = self._dirty_since + self.flush_timeout
-            if deadline > self.env.now:
-                yield self.env.timeout(deadline - self.env.now)
-            # Re-check: a synchronous flush may have drained us meanwhile.
-            if self._dirty_since is not None and \
-                    self.env.now >= self._dirty_since + self.flush_timeout - 1e-12:
-                self._flush("timeout")
+        if self._dirty_since is not None and \
+                self.env.now >= self._dirty_since + self.flush_timeout - 1e-12:
+            self._flush("timeout")

@@ -18,7 +18,7 @@ from typing import Callable, Generator, Optional
 from ..calibration import StreamingCosts
 from ..jdl import StreamingMode
 from ..net import ConnectionEnd, NetworkError
-from ..sim import Environment, RandomStreams, Store
+from ..sim import Environment, RandomStreams, Store, Timer
 from .messages import FRAME_OVERHEAD, StreamChunk
 from .spool import DiskSpool
 
@@ -60,6 +60,12 @@ class ChunkSender:
         #: in neither the outbox nor the spool — and EOF teardown strands
         #: the tail of the stream.
         self._in_flight = False
+        #: Re-armable pacing/retry timers: the retry loop and the fast-mode
+        #: jitter wait re-arm these in place instead of allocating a fresh
+        #: Timeout per attempt (retry storms during outages are exactly the
+        #: timer-churn case the two-lane kernel's Timer exists for).
+        self._retry_timer = Timer(env, name=f"{name}/retry")
+        self._pace_timer = Timer(env, name=f"{name}/pace")
         self._proc = env.process(self._run(), name=name)
 
     # -- wiring ---------------------------------------------------------
@@ -120,7 +126,7 @@ class ChunkSender:
             burst = abs(self.rng.stream(f"{self.name}/burst").normal(
                 0.0, self.costs.fast_wan_jitter * latency))
             if burst > 0:
-                yield self.env.timeout(burst)
+                yield self._pace_timer.arm(burst)
         tr = self.env.tracer
         span = tr.begin("stream_chunk", site=None,
                         nbytes=chunk.nbytes) if tr is not None else None
@@ -168,7 +174,7 @@ class ChunkSender:
                                            self.costs.retry_interval, 0.05)
                 self.stats.reconnect_waits += interval
                 wait = tr.begin("reconnect") if tr is not None else None
-                yield self.env.timeout(interval)
+                yield self._retry_timer.arm(interval)
                 if tr is not None:
                     tr.end(wait)
                 continue

@@ -160,7 +160,14 @@ time.sleep(60)
         try:
             event = shadow.read_line(timeout=10)
             assert event.data.strip() == b"fast path"
-            assert agent.stats.frames_sent >= 2  # hello + line
+            # The agent thread bumps frames_sent *after* the frame hits the
+            # socket, so the shadow can observe the line before the counter
+            # reflects it — poll briefly instead of asserting the
+            # instantaneous value (hello + line = 2).
+            deadline = time.time() + 5.0
+            while agent.stats.frames_sent < 2 and time.time() < deadline:
+                time.sleep(0.01)
+            assert agent.stats.frames_sent >= 2
         finally:
             agent.join(timeout=10)
             agent.close()

@@ -1,0 +1,33 @@
+"""Kernel determinism contract: the optimized two-lane scheduler must
+process events in exactly the order the seed single-heap kernel did.
+
+The fixture ``tests/data/kernel_event_order.json`` was serialized from
+the pre-two-lane kernel running :func:`tests.kernel_workload
+.run_mixed_workload` — a workload that stresses equal-time ties,
+zero-delay chains, URGENT interrupts, wide/nested conditions, defused
+failures, stores and resources at once.  Any change to the kernel's
+``(time, priority, eid)`` total order shows up here as a diff long
+before it corrupts an experiment render.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .kernel_workload import FIXTURE, run_mixed_workload
+
+
+def test_mixed_workload_replays_seed_event_order():
+    with open(FIXTURE) as fh:
+        expected = [tuple(rec) for rec in json.load(fh)]
+    got = run_mixed_workload()
+    assert len(got) == len(expected), (
+        f"event count drifted: {len(got)} != {len(expected)}")
+    for i, (want, have) in enumerate(zip(expected, got)):
+        assert tuple(have) == want, (
+            f"divergence at record {i}: fixture {want!r} vs kernel {have!r}")
+
+
+def test_mixed_workload_is_self_deterministic():
+    """Two in-process runs must agree exactly (no hidden global state)."""
+    assert run_mixed_workload() == run_mixed_workload()

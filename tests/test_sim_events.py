@@ -202,3 +202,80 @@ class TestConditions:
         p = env.process(proc(env))
         env.run()
         assert p.value == {t1: "x"}
+
+
+class TestWideFanIn:
+    """Regression tests for the lazy-detach Condition bookkeeping.
+
+    The seed walked every member's callback list with ``list.remove`` when
+    a condition decided (``_remove_check_callbacks``), turning a wide
+    AnyOf into quadratic work at decision time and crashing hot loops.
+    The optimized kernel leaves the checks registered and early-returns,
+    so these must be fast *and* correct.
+    """
+
+    def test_any_of_1000_events_first_wins(self):
+        env = Environment()
+        events = [env.timeout(i + 1, value=i) for i in range(1000)]
+
+        def proc(env):
+            result = yield AnyOf(env, events)
+            return list(result.values())
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == [0]
+        # Late losers fire after the decision without disturbing it.
+        assert all(e.processed for e in events)
+
+    def test_any_of_1000_late_loser_failures_are_defused(self):
+        """Members failing *after* the condition decided must not crash
+        the run — the lazy detach defuses them."""
+        env = Environment()
+        winner = env.timeout(1, value="won")
+        losers = [env.event() for _ in range(999)]
+
+        def proc(env):
+            result = yield AnyOf(env, [winner] + losers)
+            return result[winner]
+
+        def fail_losers(env):
+            yield env.timeout(2)
+            for ev in losers:
+                ev.fail(RuntimeError("late loser"))
+
+        p = env.process(proc(env))
+        env.process(fail_losers(env))
+        env.run()
+        assert p.value == "won"
+
+    def test_all_of_1000_events_collects_in_order(self):
+        env = Environment()
+        events = [env.timeout(1, value=i) for i in range(1000)]
+
+        def proc(env):
+            result = yield AllOf(env, events)
+            return list(result.values())
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == list(range(1000))
+
+    def test_condition_value_membership_is_exact(self):
+        """dict-backed ConditionValue: `in`/`[]` must key on identity of
+        the member events, not on list scans."""
+        env = Environment()
+        events = [env.timeout(1, value=i) for i in range(100)]
+        stranger = env.timeout(1, value="x")
+
+        def proc(env):
+            result = yield AllOf(env, events)
+            assert all(e in result for e in events)
+            assert stranger not in result
+            with pytest.raises(KeyError):
+                result[stranger]
+            return True
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value is True

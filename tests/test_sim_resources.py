@@ -69,7 +69,7 @@ class TestResource:
         p = env.process(impatient(env))
         env.run()
         assert p.value is False
-        assert res.queue == []
+        assert list(res.queue) == []
 
     def test_release_unheld_raises(self, env):
         res = Resource(env, capacity=1)

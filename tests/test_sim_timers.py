@@ -1,0 +1,158 @@
+"""Unit tests for the cancellable/re-armable :class:`repro.sim.Timer`.
+
+These pin the shot protocol documented in ``sim/timers.py``: lazy
+tombstones for cancels, deferral re-pushes for later re-arms, shot
+re-use for earlier-or-equal pending shots, and the guarantee that
+tombstone pops never advance the simulation clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Environment, Timer
+
+
+def test_timer_fires_callback_at_deadline():
+    env = Environment()
+    fired = []
+    t = Timer(env, callback=lambda tm: fired.append(env.now), name="t")
+    t.arm(5.0)
+    assert t.armed and t.deadline == 5.0
+    env.run()
+    assert fired == [5.0]
+    assert not t.armed
+    assert env.now == 5.0
+
+
+def test_timer_is_yieldable():
+    env = Environment()
+    log = []
+    t = Timer(env, value="ding")
+
+    def waiter(env):
+        got = yield t
+        log.append((env.now, got))
+
+    env.process(waiter(env))
+    t.arm(3.0)
+    env.run()
+    assert log == [(3.0, "ding")]
+
+
+def test_cancel_leaves_clock_untouched():
+    """A cancelled shot is a tombstone: collected without advancing now."""
+    env = Environment()
+    t = Timer(env, callback=lambda tm: pytest.fail("cancelled timer fired"))
+    t.arm(10.0)
+    t.cancel()
+    assert not t.armed
+    env.run()
+    # The only heap entry was a tombstone; the clock never reached 10.
+    assert env.now == 0
+
+
+def test_rearm_later_defers_without_extra_shots():
+    env = Environment()
+    fired = []
+    t = Timer(env, callback=lambda tm: fired.append(env.now))
+    t.arm(2.0)
+    t.arm(8.0)           # later: pending shot at 2.0 is deferred on pop
+    assert len(env) == 1  # still exactly one heap entry
+    env.run()
+    assert fired == [8.0]
+
+
+def test_rearm_earlier_supersedes_old_shot():
+    env = Environment()
+    fired = []
+    t = Timer(env, callback=lambda tm: fired.append(env.now))
+    t.arm(8.0)
+    t.arm(2.0)           # earlier: a second shot is pushed, first tombstoned
+    env.run()
+    assert fired == [2.0]
+    assert env.now == 2.0  # the stale 8.0 shot must not advance the clock
+
+
+def test_cancel_then_rearm_reuses_pending_shot():
+    env = Environment()
+    fired = []
+    t = Timer(env, callback=lambda tm: fired.append(env.now))
+    t.arm(4.0)
+    t.cancel()
+    t.arm(4.0)            # re-uses the pending shot: no new heap entry
+    assert len(env) == 1
+    env.run()
+    assert fired == [4.0]
+
+
+def test_timer_refires_after_each_arm():
+    """One Timer object serves many ticks — the churn-site contract."""
+    env = Environment()
+    fired = []
+
+    def ticker(env, t):
+        for _ in range(3):
+            yield t.arm(1.5)
+            fired.append(env.now)
+
+    t = Timer(env, name="tick")
+    env.process(ticker(env, t))
+    env.run()
+    assert fired == [1.5, 3.0, 4.5]
+
+
+def test_arm_value_override_per_shot():
+    env = Environment()
+    got = []
+    t = Timer(env, value="default")
+
+    def waiter(env):
+        got.append((yield t))
+        got.append((yield t.arm(1.0, value="second")))
+        got.append((yield t.arm(1.0)))  # override persists
+
+    env.process(waiter(env))
+    t.arm(1.0)
+    env.run()
+    assert got == ["default", "second", "second"]
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    t = Timer(env)
+    with pytest.raises(ValueError):
+        t.arm(-1.0)
+
+
+def test_environment_timer_factory():
+    env = Environment()
+    t = env.timer(name="factory")
+    assert isinstance(t, Timer)
+    assert t.name == "factory"
+
+
+def test_tombstones_do_not_block_empty_schedule():
+    """run() with only tombstones left terminates (no phantom events)."""
+    env = Environment()
+    t = env.timer()
+    t.arm(5.0)
+    t.cancel()
+    env.run()  # must not raise or hang
+    assert env.peek() == float("inf") or len(env) == 0
+
+
+def test_timer_interleaves_deterministically_with_timeouts():
+    """A timer firing at the same instant as a Timeout respects eid order."""
+    env = Environment()
+    order = []
+    t = Timer(env, callback=lambda tm: order.append("timer"))
+
+    def proc(env):
+        yield env.timeout(3.0)
+        order.append("timeout")
+
+    t.arm(3.0)                 # armed first -> earlier eid -> fires first
+    env.process(proc(env))
+    env.run()
+    assert order == ["timer", "timeout"]
