@@ -1,0 +1,50 @@
+"""Static analysis (simlint) and the runtime lifecycle sanitizer.
+
+Two enforcement layers for the reproduction's determinism contract:
+
+* :mod:`repro.analysis.engine` + :mod:`repro.analysis.rules` — **simlint**,
+  an AST linter with simulation-specific rules (``repro lint``);
+* :mod:`repro.analysis.sanitizer` — the runtime leak/lifecycle checker
+  behind ``Environment(sanitize=True)``.
+
+This package sits *above* :mod:`repro.sim` in the layering: the kernel
+only ever imports it lazily (and only when sanitizing is requested), so
+``import repro.sim`` stays dependency-free.
+"""
+
+from .engine import (
+    Finding,
+    Rule,
+    findings_to_json,
+    lint_file,
+    lint_paths,
+    lint_source,
+    render_findings,
+)
+from .rules import ALL_RULES, rules_by_id
+from .sanitizer import (
+    Leak,
+    LeakError,
+    Sanitizer,
+    SanitizerAudit,
+    SanitizerReport,
+    sanitize_all,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "Leak",
+    "LeakError",
+    "Rule",
+    "Sanitizer",
+    "SanitizerAudit",
+    "SanitizerReport",
+    "findings_to_json",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_findings",
+    "rules_by_id",
+    "sanitize_all",
+]

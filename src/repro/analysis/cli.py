@@ -1,0 +1,65 @@
+"""``repro lint`` — run simlint from the command line.
+
+Exit status is 0 when no findings survive suppression filtering, 1
+otherwise (2 for usage errors), so the command can gate CI directly.
+The JSON report (``--json``) is what the CI lint job uploads as an
+artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .engine import collect_files, findings_to_json, lint_paths, render_findings
+from .rules import ALL_RULES, rules_by_id
+
+
+def lint_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="simlint: determinism & kernel-lifecycle static "
+                    "analysis for the simulation codebase.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files/directories to lint (default: src)")
+    parser.add_argument("--json", metavar="FILE", dest="json_path",
+                        help="also write a JSON report "
+                             "('-' for stdout instead of the text report)")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id:20s} [{rule.category}] {rule.summary}")
+        return 0
+
+    try:
+        rules = (rules_by_id([r.strip() for r in args.select.split(",")])
+                 if args.select else ALL_RULES)
+    except KeyError as exc:
+        print(f"repro lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    paths = args.paths or ["src"]
+    files = collect_files(paths)
+    if not files:
+        print(f"repro lint: no python files under {paths}", file=sys.stderr)
+        return 2
+    findings = lint_paths(paths, rules)
+
+    payload = findings_to_json(findings, checked_files=len(files),
+                               rule_ids=[r.id for r in rules])
+    if args.json_path == "-":
+        print(payload)
+    else:
+        render_findings(findings)
+        if args.json_path:
+            with open(args.json_path, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"wrote {args.json_path}", file=sys.stderr)
+    return 1 if findings else 0

@@ -1,0 +1,221 @@
+"""Determinism-hazard rules.
+
+Everything here protects the byte-identical-render contract: any value
+that depends on the interpreter's hash seed, the wall clock, object
+identity, or global (unseeded) RNG state must never reach simulation
+state or rendered output.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple, Type
+
+from ..engine import LintContext, Rule
+
+__all__ = [
+    "EnvironReadRule",
+    "IdHashOrderRule",
+    "SetIterationRule",
+    "UnseededRandomRule",
+    "WallClockRule",
+]
+
+
+def _call_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` -> ``("a", "b", "c")``; None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """True for expressions that evaluate to an unordered set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)):
+        # set algebra: ``seen - done``, ``a | b`` … only flag when one
+        # side is *syntactically* a set (dict/int operands use the same
+        # operators; we only claim the unambiguous cases).
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class SetIterationRule(Rule):
+    """Iteration over an unordered set where the order can escape.
+
+    ``for s in set(...)``, ``[f(x) for x in {a, b}]``, ``list(set(...))``
+    and friends iterate in hash order, which depends on
+    ``PYTHONHASHSEED`` for str/bytes elements and on allocation addresses
+    for objects — the classic way a scheduling decision silently becomes
+    run-dependent.  Sort first: ``for s in sorted(set(...))``.
+    """
+
+    id = "set-iteration"
+    category = "determinism"
+    summary = ("iterating an unordered set lets hash order escape into "
+               "scheduling — wrap it in sorted()")
+    node_types: Tuple[Type[ast.AST], ...] = (
+        ast.For, ast.comprehension, ast.Call)
+
+    _ORDER_SINKS = ("list", "tuple", "enumerate", "iter", "reversed")
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if isinstance(node, ast.For):
+            if _is_set_expr(node.iter):
+                ctx.report(self, node.iter,
+                           "iteration over an unordered set — order is "
+                           "hash-seed dependent; iterate sorted(...) "
+                           "instead")
+        elif isinstance(node, ast.comprehension):
+            if _is_set_expr(node.iter):
+                ctx.report(self, node.iter,
+                           "comprehension over an unordered set — order is "
+                           "hash-seed dependent; iterate sorted(...) "
+                           "instead")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Name) and func.id in self._ORDER_SINKS
+                    and node.args and _is_set_expr(node.args[0])):
+                ctx.report(self, node,
+                           f"{func.id}() materialises an unordered set in "
+                           f"hash order — use sorted(...) to fix the order")
+
+
+class UnseededRandomRule(Rule):
+    """Module-level ``random`` / ``numpy.random`` draws outside the
+    seeded-stream facade.
+
+    All stochastic draws must come from named
+    :class:`repro.sim.rng.RandomStreams` substreams; the global
+    ``random``/``np.random`` state is process-wide, unseeded (or seeded
+    once for everyone), and makes draws order-dependent across
+    components.
+    """
+
+    id = "unseeded-random"
+    category = "determinism"
+    summary = ("global random/numpy.random draw outside sim/rng.py — use "
+               "a named RandomStreams substream")
+    node_types: Tuple[Type[ast.AST], ...] = (ast.Call,)
+    exempt_suffixes = ("sim/rng.py",)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        assert isinstance(node, ast.Call)
+        chain = _call_chain(node.func)
+        if chain is None:
+            return
+        if chain[0] == "random" and len(chain) == 2:
+            ctx.report(self, node,
+                       f"module-level random.{chain[1]}() draws from the "
+                       f"process-global RNG — use a RandomStreams "
+                       f"substream")
+        elif chain[:2] in (("np", "random"), ("numpy", "random")):
+            ctx.report(self, node,
+                       f"{'.'.join(chain)}() uses numpy's global RNG — "
+                       f"use a RandomStreams substream")
+
+
+class WallClockRule(Rule):
+    """Wall-clock reads in simulation code.
+
+    ``time.time()`` / ``datetime.now()`` values differ on every run; any
+    such value reaching sim state or rendered output breaks the golden
+    contract.  Simulated time is ``env.now``; host-side *duration*
+    measurement should use ``time.perf_counter()`` (which this rule
+    deliberately does not flag).
+    """
+
+    id = "wallclock"
+    category = "determinism"
+    summary = ("wall-clock read (time.time/datetime.now) — sim code must "
+               "use env.now")
+    node_types: Tuple[Type[ast.AST], ...] = (ast.Call,)
+
+    _TIME_FUNCS = ("time", "monotonic", "clock", "time_ns", "monotonic_ns")
+    _DATETIME_FUNCS = ("now", "utcnow", "today")
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        assert isinstance(node, ast.Call)
+        chain = _call_chain(node.func)
+        if chain is None:
+            return
+        if chain[0] == "time" and len(chain) == 2 \
+                and chain[1] in self._TIME_FUNCS:
+            ctx.report(self, node,
+                       f"time.{chain[1]}() reads the wall clock — use "
+                       f"env.now for sim time (perf_counter for host "
+                       f"durations)")
+        elif chain[-1] in self._DATETIME_FUNCS and len(chain) >= 2 \
+                and chain[-2] in ("datetime", "date"):
+            ctx.report(self, node,
+                       f"{'.'.join(chain)}() reads the wall clock — use "
+                       f"env.now for sim time")
+
+
+class IdHashOrderRule(Rule):
+    """``id()`` / ``hash()`` in simulation logic.
+
+    Both values vary across processes and hash seeds; using them for
+    ordering, keys, or identifiers that reach sim state or output makes
+    runs irreproducible.  Cosmetic ``__repr__``/``__str__`` uses are
+    exempt (reprs never enter rendered experiment output).
+    """
+
+    id = "id-hash-order"
+    category = "determinism"
+    summary = ("id()/hash() values vary per process/hash seed — never "
+               "let them order or key sim state")
+    node_types: Tuple[Type[ast.AST], ...] = (ast.Call,)
+
+    _COSMETIC_FUNCS = ("__repr__", "__str__", "__format__", "__hash__")
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if not (isinstance(func, ast.Name) and func.id in ("id", "hash")):
+            return
+        if ctx.current_function_name in self._COSMETIC_FUNCS:
+            return
+        ctx.report(self, node,
+                   f"{func.id}() is process/hash-seed dependent — derive "
+                   f"stable identifiers (counters, names, blake2) instead")
+
+
+class EnvironReadRule(Rule):
+    """``os.environ`` / ``os.getenv`` reads outside config loading.
+
+    Environment variables are per-host ambient state: a read anywhere
+    but the CLI/config layer means two operators get different sim
+    behaviour from the same config — the cache key and the golden output
+    stop agreeing.  Plumb values through explicit config instead.
+    """
+
+    id = "environ-read"
+    category = "determinism"
+    summary = ("os.environ read outside config loading — plumb through "
+               "explicit config")
+    node_types: Tuple[Type[ast.AST], ...] = (ast.Attribute, ast.Call)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if isinstance(node, ast.Attribute):
+            if node.attr == "environ" and isinstance(node.value, ast.Name) \
+                    and node.value.id == "os":
+                ctx.report(self, node,
+                           "os.environ read — ambient host state; route "
+                           "through the config layer")
+        elif isinstance(node, ast.Call):
+            chain = _call_chain(node.func)
+            if chain == ("os", "getenv"):
+                ctx.report(self, node,
+                           "os.getenv read — ambient host state; route "
+                           "through the config layer")

@@ -54,9 +54,12 @@ class InterpositionMechanism(Mechanism):
             self.client_host, self.mode, n_subjobs=1)
         if self.node.is_free:
             self.node.acquire(self.name)
+        # Sanitizer daemon (not the CPU-invisible execute flag): the
+        # echo peer serves until the measurement abandons it.
         self._server_proc = self.node.execute(
             echo_server, f"{self.name}/echo", interactive=True,
             setup=self.session.make_setup(self.node.name, 0))
+        self._server_proc.daemon = True
         self.session.watch(self._server_proc)
         # Ready once the agent connected and the greeting arrived.
         yield self.session.shadow.first_output

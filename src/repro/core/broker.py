@@ -135,12 +135,18 @@ class CrossBroker:
     # ------------------------------------------------------------------
     def submit(self, job: JobDescription, behavior_factory: BehaviorFactory,
                ui_host: str = "ui",
-               attach_console: Optional[bool] = None) -> SubmittedJob:
+               attach_console: Optional[bool] = None,
+               daemon: bool = False) -> SubmittedJob:
         """Submit a job; returns immediately with the tracking record.
 
         ``attach_console`` defaults to True for interactive jobs; pass True
         for a batch job to capture its first output through the streaming
         layer (as the Table I measurement harness does).
+
+        ``daemon=True`` declares a background-by-design job (a glide-in
+        seed, a blocking load generator) that is *expected* to outlive
+        the run: the submission chain it spawns inherits the flag and
+        the lifecycle sanitizer exempts it.
         """
         report = SubmissionReport(job_id=job.job_id, owner=job.owner,
                                   submitted_at=self.env.now)
@@ -157,7 +163,7 @@ class CrossBroker:
                                  session=session)
         submitted.process = self.env.process(
             self._run(submitted, behavior_factory),
-            name=f"broker/{job.job_id}")
+            name=f"broker/{job.job_id}", daemon=daemon)
         self.reports.append(report)
         return submitted
 
@@ -245,6 +251,10 @@ class CrossBroker:
 
         attempts = 0
         tried: List[str] = []
+        # One re-armable poll timer for this submission's whole queue
+        # wait (arm-per-cycle consumes exactly the eids the per-cycle
+        # timeout did, so the deterministic event order is unchanged).
+        poll = self.env.timer(name=f"broker/queue-poll/{job.job_id}")
         while True:
             target = next((c for c in candidates
                            if c.site not in tried
@@ -280,7 +290,7 @@ class CrossBroker:
                 tr.count("broker_queued", job=job.job_id)
             self._queued_batch.append(submitted)
             try:
-                yield self.env.timeout(self.config.queue_poll_interval)
+                yield poll.arm(self.config.queue_poll_interval)
             finally:
                 self._queued_batch.remove(submitted)
             outcome = yield from self.selector.discover()
@@ -700,9 +710,11 @@ class CrossBroker:
             raise
         yield from gram.close()
         yield ticket.handle.started
-        # Wait for the runtime to boot and register.
+        # Wait for the runtime to boot and register (re-armable poll
+        # timer: no per-cycle event garbage).
+        boot_poll = self.env.timer(name=f"broker/boot-poll/{job.job_id}")
         while not ready_records:
-            yield self.env.timeout(0.05)
+            yield boot_poll.arm(0.05)
         record = ready_records[0]
         self.trace.log(self.env.now, "agent-ready",
                        agent=record.runtime.agent_id, site=candidate.site,

@@ -80,7 +80,8 @@ class FairShareAccounting:
         self._accounts: Dict[str, UserAccount] = {}
         self.beta = 0.5 ** (self.config.update_interval / self.config.half_life)
         if autostart:
-            env.process(self._update_loop(), name="fairshare/update")
+            env.process(self._update_loop(), name="fairshare/update",
+                        daemon=True)  # service root: samples for the whole run
 
     # -- account management -------------------------------------------------
     def account(self, user: str) -> UserAccount:

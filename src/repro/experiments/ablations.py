@@ -244,9 +244,10 @@ def run_pl_cell(config: PerformanceLossSweepConfig, key: CellKey) -> float:
 
     def driver() -> Generator:
         env.process(runtime.behavior()(_direct_ctx(env, tb, node)),
-                    name="pl/agent")
+                    name="pl/agent", daemon=True)
         yield runtime.ready
-        bt = yield from runtime.run_job("hog", cpu_hog(), False, 0)
+        bt = yield from runtime.run_job("hog", cpu_hog(), False, 0,
+                                        daemon=True)
         yield bt.started
         it = yield from runtime.run_job("loop", make_loop_app(profile),
                                         True, pl)
@@ -335,13 +336,13 @@ def run_degree_cell(config: DegreeSweepConfig, key: CellKey) -> float:
 
     def driver() -> Generator:
         env.process(runtime.behavior()(_direct_ctx(env, tb, node)),
-                    name="deg/agent")
+                    name="deg/agent", daemon=True)
         yield runtime.ready
         tickets = []
         for k in range(degree):
             t = yield from runtime.run_job(f"loop{k}",
                                            make_loop_app(profile),
-                                           True, 10)
+                                           True, 10, daemon=True)
             tickets.append(t)
         first = yield tickets[0].finished
         return first

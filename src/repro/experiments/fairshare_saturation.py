@@ -63,12 +63,14 @@ def _run(config: SaturationConfig) -> Dict[str, List[bool]]:
         return immediate_output_app(run_for=config.job_runtime)
 
     def driver() -> Generator:
+        # Re-armable pacing timer for both submission loops below.
+        pace = env.timer(name="saturation/pace")
         # Warm-up: greedy hammers the grid with interactive jobs,
         # degrading its priority (a_f = 2 per §5.1).
         for i in range(config.warmup_jobs):
             submitted = broker.submit(_interactive_job("greedy"), app_factory)
             yield submitted.process
-            yield env.timeout(60.0)
+            yield pace.arm(60.0)
         # Let running jobs drain so exactly the *last* machines are in
         # contention during the contest.
         yield env.timeout(config.job_runtime + 60.0)
@@ -76,7 +78,8 @@ def _run(config: SaturationConfig) -> Dict[str, List[bool]]:
         # Contest: with one node busy, greedy and modest both want the
         # last free machine, repeatedly.
         blocker = broker.submit(_interactive_job("background"),
-                                lambda r: immediate_output_app(run_for=1e6))
+                                lambda r: immediate_output_app(run_for=1e6),
+                                daemon=True)  # blocks a node for the rest of the run
         yield blocker.started
         tb.publish_all_now()
         for round_idx in range(config.contest_rounds):
@@ -88,7 +91,7 @@ def _run(config: SaturationConfig) -> Dict[str, List[bool]]:
                 if submitted.report.success:
                     yield submitted.finished
                 tb.publish_all_now()
-                yield env.timeout(30.0)
+                yield pace.arm(30.0)
         return outcomes
 
     proc = env.process(driver(), name="saturation")

@@ -91,10 +91,11 @@ def _scenario(config: Fig8Config, pl: Optional[int], with_batch: bool,
             # Boot the runtime in place (no GRAM path needed here; Fig. 8
             # isolates the steady-state overhead, not startup).
             boot = env.process(runtime.behavior()(_direct_ctx(env, tb, node)),
-                               name="fig8/agent")
+                               name="fig8/agent", daemon=True)
             yield runtime.ready
             if with_batch:
-                bt = yield from runtime.run_job("hog", cpu_hog(), False, 0)
+                bt = yield from runtime.run_job("hog", cpu_hog(), False, 0,
+                                                daemon=True)
                 yield bt.started
             it = yield from runtime.run_job("loop", loop, True, pl or 0)
             result = yield it.finished

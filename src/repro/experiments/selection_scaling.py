@@ -36,6 +36,7 @@ def _measure(config: SelectionScalingConfig,
     selection: List[float] = []
 
     def driver() -> Generator:
+        pace = env.timer(name="selscale/pace")
         for i in range(config.jobs):
             job = JobDescription(
                 executable="probe", owner=f"user{i % 3}",
@@ -46,7 +47,7 @@ def _measure(config: SelectionScalingConfig,
             yield submitted.finished
             discovery.append(submitted.report.discovery_time)
             selection.append(submitted.report.selection_time)
-            yield env.timeout(2.0)
+            yield pace.arm(2.0)
         return None
 
     proc = env.process(driver(), name="selscale")

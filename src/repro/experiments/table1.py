@@ -134,9 +134,11 @@ def _measure_broker_method(config: Table1Config, scenario: str, method: str,
             # Seed the world with one glide-in agent (a long batch job is
             # running on its batch VM, as in Figure 5 scenario 4).
             seed_job = _pinned_job(target, "background", False, False)
-            seeded = broker.submit(seed_job, lambda r: cpu_bound_app(1e7))
+            seeded = broker.submit(seed_job, lambda r: cpu_bound_app(1e7),
+                                   daemon=True)  # background by design
             yield seeded.started
 
+        pace = env.timer(name=f"t1/{method}/pace")
         for i in range(config.jobs_per_method):
             if method == "idle":
                 job = _pinned_job(target, f"user{i%5}", True, False)
@@ -153,11 +155,11 @@ def _measure_broker_method(config: Table1Config, scenario: str, method: str,
             selection.append(report.selection_time)
             submission.append(report.submission_time)
             # Let the world quiesce (agents leave, adverts refresh).
-            yield env.timeout(5.0)
+            yield pace.arm(5.0)
             if method == "job+agent":
                 # Wait for the agent to leave so the next job plants anew.
                 while broker.agents.live_agents():
-                    yield env.timeout(1.0)
+                    yield pace.arm(1.0)
                 tb.publish_all_now()
         return None
 

@@ -59,8 +59,10 @@ def run_traced_method(method: str, scenario: str = "campus", jobs: int = 5,
         if method == "virtual-machine":
             # Seed one glide-in agent so the shared path finds a free VM.
             seed_job = _pinned_job(target, "background", False, False)
-            seeded = broker.submit(seed_job, lambda r: cpu_bound_app(1e7))
+            seeded = broker.submit(seed_job, lambda r: cpu_bound_app(1e7),
+                                   daemon=True)  # background by design
             yield seeded.started
+        pace = env.timer(name=f"trace/{method}/pace")
         for i in range(jobs):
             if method == "idle":
                 job = _pinned_job(target, f"user{i % 5}", True, False)
@@ -72,10 +74,10 @@ def run_traced_method(method: str, scenario: str = "campus", jobs: int = 5,
                 job, lambda r: immediate_output_app(run_for=0.5),
                 attach_console=True)
             yield submitted.finished
-            yield env.timeout(5.0)
+            yield pace.arm(5.0)
             if method == "job+agent":
                 while broker.agents.live_agents():
-                    yield env.timeout(1.0)
+                    yield pace.arm(1.0)
                 tb.publish_all_now()
         return None
 

@@ -105,9 +105,11 @@ class LocalBatchSystem:
         #: losing timeout dead in the heap).  ``_wake`` simply re-arms the
         #: timer to *now*, so a submission/completion still triggers an
         #: immediate dispatch cycle.
-        self._cycle_timer = Timer(env, name=f"lrms/{site}/cycle")
+        self._cycle_timer = Timer(env, name=f"lrms/{site}/cycle",
+                                  daemon=True)  # service root
         self._kicked = False
-        self._proc = env.process(self._scheduler_loop(), name=f"lrms/{site}")
+        self._proc = env.process(self._scheduler_loop(), name=f"lrms/{site}",
+                                 daemon=True)  # service root: LRMS cycles forever
 
     # -- published state (feeds the MDS advert) ----------------------------
     def free_nodes(self) -> List[WorkerNode]:

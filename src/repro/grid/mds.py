@@ -78,8 +78,12 @@ class MdsPublisher:
         self.period = period
         #: Re-armed in place every refresh instead of allocating a fresh
         #: Timeout per period (advert-freshness churn scales with sites).
-        self._period_timer = env.timer(name=f"mds-push/{site}/period")
-        self._proc = env.process(self._loop(), name=f"mds-push/{site}")
+        # Service roots: the publisher loop and its period timer live
+        # for the whole simulation (their helpers inherit daemon).
+        self._period_timer = env.timer(name=f"mds-push/{site}/period",
+                                       daemon=True)
+        self._proc = env.process(self._loop(), name=f"mds-push/{site}",
+                                 daemon=True)
 
     def _loop(self) -> Generator:
         rpc = RpcClient(self.network, self.src_host, self.index_host, MDS_PORT,

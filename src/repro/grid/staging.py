@@ -27,11 +27,14 @@ def stage_input(env: Environment, network: Network, rng: RandomStreams,
     start = env.now
     setup = rng.jitter(f"staging/{src}->{dst}/setup", SESSION_SETUP, 0.15)
     yield env.timeout(setup)
+    # One re-armable pacing timer for the whole sandbox (not one event
+    # per file — the timer-churn pattern simlint flags).
+    pace = env.timer(name=f"staging/{src}->{dst}/pace")
     for name, size in files:
         per_file = rng.jitter(f"staging/{src}->{dst}/file", PER_FILE, 0.2)
         transfer = network.transfer_time(src, dst, size,
                                          stream=f"staging/{name}")
-        yield env.timeout(per_file + transfer)
+        yield pace.arm(per_file + transfer)
     return env.now - start
 
 
@@ -48,9 +51,10 @@ def retrieve_output(env: Environment, network: Network, rng: RandomStreams,
     start = env.now
     setup = rng.jitter(f"retrieve/{src}->{dst}/setup", SESSION_SETUP, 0.15)
     yield env.timeout(setup)
+    pace = env.timer(name=f"retrieve/{src}->{dst}/pace")
     for name, size in files:
         per_file = rng.jitter(f"retrieve/{src}->{dst}/file", PER_FILE, 0.2)
         transfer = network.transfer_time(src, dst, size,
                                          stream=f"retrieve/{name}")
-        yield env.timeout(per_file + transfer)
+        yield pace.arm(per_file + transfer)
     return env.now - start

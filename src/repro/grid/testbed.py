@@ -86,13 +86,18 @@ class Testbed:
 def base_world(seed: int = 0,
                calibration: Optional[Calibration] = None,
                profile: NetworkProfile = CAMPUS,
-               with_mds: bool = True) -> Testbed:
+               with_mds: bool = True,
+               sanitize: Optional[bool] = None) -> Testbed:
     """Core + ui + broker (+ MDS index), no sites yet.
+
+    ``sanitize`` attaches the runtime lifecycle sanitizer to the world's
+    environment (see :mod:`repro.analysis.sanitizer`); ``None`` defers to
+    ``Environment.default_sanitize`` (audit scopes).
 
     Compatibility shim: new code should build worlds through
     :class:`repro.Scenario` (see ``repro/scenario.py``).
     """
-    env = Environment()
+    env = Environment(sanitize=sanitize)
     rng = RandomStreams(seed)
     network = Network(env, rng.spawn("network"))
     calibration = calibration or DEFAULT_CALIBRATION
@@ -145,14 +150,15 @@ def wan_grid(seed: int = 0, n_nodes: int = 4,
 def europe_testbed(seed: int = 0, n_sites: int = 20,
                    nodes_per_site: int = 4,
                    calibration: Optional[Calibration] = None,
-                   site_names: Optional[Sequence[str]] = None) -> Testbed:
+                   site_names: Optional[Sequence[str]] = None,
+                   sanitize: Optional[bool] = None) -> Testbed:
     """§6.1's discovery/selection setting: ~20 sites across Europe.
 
     Site WAN profiles are drawn (deterministically from ``seed``) between
     the campus and long-haul extremes, approximating the heterogeneous
     CrossGrid testbed (18 sites, 9 countries).
     """
-    testbed = base_world(seed, calibration)
+    testbed = base_world(seed, calibration, sanitize=sanitize)
     rng = testbed.rng
     names = list(site_names) if site_names else [
         f"site{i:02d}" for i in range(n_sites)]

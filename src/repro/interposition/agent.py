@@ -10,7 +10,7 @@ Fast mode sends frames straight to the socket and drops them if the link
 is gone; reliable mode appends every frame to an on-disk spool file and a
 drain thread retries/reconnects until delivery (or until the retry budget
 is exhausted, at which point the job is killed — §3/§4 semantics).
-"""
+"""  # simlint: disable-file=wallclock -- real-runtime component (host threads + sockets); wall-clock deadlines never enter sim state
 
 from __future__ import annotations
 

@@ -4,7 +4,7 @@ Listens on a TCP port (randomly allocated, or pinned as the paper's JDL
 port attribute allows), accepts Console Agent connections (one per
 subjob), merges their output into a thread-safe console queue, and
 broadcasts typed input lines to every connected agent.
-"""
+"""  # simlint: disable-file=wallclock -- real-runtime component (host threads + sockets); wall-clock deadlines never enter sim state
 
 from __future__ import annotations
 

@@ -112,8 +112,15 @@ class AgentRuntime:
     def run_job(self, label: str, behavior: Behavior, interactive: bool,
                 performance_loss: int = 0,
                 setup: Optional[Callable[[MachineContext], None]] = None,
-                ) -> Generator:
-        """RPC handler: place a job on the matching VM slot and start it."""
+                daemon: Optional[bool] = None) -> Generator:
+        """RPC handler: place a job on the matching VM slot and start it.
+
+        ``daemon=True`` marks a guest that runs for the rest of the
+        simulation by design (a background CPU hog, a measurement
+        peer); the sanitizer then exempts its whole execution chain.
+        The default (``None``) inherits the dispatching process's flag,
+        so a ``daemon=True`` broker submission stays daemon end-to-end.
+        """
         kind = VmKind.INTERACTIVE if interactive else VmKind.BATCH
         slot = self._free_slot(kind)
         if slot is None:
@@ -156,7 +163,8 @@ class AgentRuntime:
                     self._batch_done = True
                 self._maybe_leave()
 
-        self.env.process(job_runner(), name=f"{self.agent_id}/{label}")
+        self.env.process(job_runner(), name=f"{self.agent_id}/{label}",
+                         daemon=daemon)
         return ticket
 
     def _maybe_leave(self) -> None:
@@ -193,7 +201,7 @@ class AgentRuntime:
                 try:
                     proc.interrupt(AgentDeadError(
                         f"{self.agent_id} killed: {cause}"))
-                except Exception:  # noqa: BLE001 - already terminating
+                except Exception:  # noqa: BLE001  # simlint: disable=swallowed-error -- best-effort kill of an already-terminating process
                     continue
 
     # -- the behavior submitted through GRAM/LRMS ---------------------------

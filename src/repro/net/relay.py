@@ -130,7 +130,8 @@ class RelayService:
         self._sessions: Dict[str, _Session] = {}
         self._channel_counter = itertools.count(1)
         self.messages_relayed = 0
-        env.process(self._accept_loop(), name=f"relay@{host}")
+        env.process(self._accept_loop(), name=f"relay@{host}",
+                    daemon=True)  # service root: relay infrastructure
 
     @property
     def session_count(self) -> int:
@@ -191,7 +192,7 @@ class RelayService:
             for agent_conn in session.agents.values():
                 try:
                     agent_conn.close()
-                except Exception:  # noqa: BLE001
+                except Exception:  # noqa: BLE001  # simlint: disable=swallowed-error -- teardown path; close() failures cannot be surfaced anywhere
                     continue
             self._sessions.pop(key, None)
 

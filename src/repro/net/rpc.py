@@ -50,8 +50,11 @@ class RpcServer:
         self.name = name or f"rpc@{host}:{port}"
         self.listener = Listener(network, network.hosts[host], port)
         self._handlers: Dict[str, Callable] = {}
+        # Service root: the accept loop (and the serve/reader children
+        # it spawns, via daemon inheritance) lives as long as the host.
         self._accept_proc = self.env.process(self._accept_loop(),
-                                             name=f"{self.name}/accept")
+                                             name=f"{self.name}/accept",
+                                             daemon=True)
         self.calls_served = 0
 
     def register(self, method: str, handler: Callable) -> None:

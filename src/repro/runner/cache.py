@@ -138,7 +138,7 @@ class ResultCache:
             "salt": spec.cache_salt,
             "cell": tuple(cell),
             "elapsed": float(elapsed),
-            "created": time.time(),
+            "created": time.time(),  # simlint: disable=wallclock -- host-side cache metadata; never read back into sim state
             "payload": payload,
         }
         path = self._path(spec.experiment_id, digest)

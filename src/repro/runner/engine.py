@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from .cache import ResultCache
-from .spec import CellKey, ExperimentSpec, get_spec
+from .spec import CellKey, get_spec
 
 Progress = Callable[[str], None]
 

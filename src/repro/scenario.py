@@ -90,6 +90,11 @@ class Scenario:
     publish: bool = True
     #: Install a lifecycle :class:`repro.obs.Tracer` on the environment.
     trace: bool = False
+    #: Attach the runtime lifecycle sanitizer
+    #: (:mod:`repro.analysis.sanitizer`) to the environment.  ``None``
+    #: defers to ``Environment.default_sanitize`` so audit scopes
+    #: (:func:`repro.analysis.sanitize_all`) can flip whole builds.
+    sanitize: Optional[bool] = None
 
     def build(self) -> "ScenarioHandle":
         """Construct and wire the world; returns the bundle handle."""
@@ -104,10 +109,11 @@ class Scenario:
             testbed = europe_testbed(
                 seed=self.seed, n_sites=self.sites,
                 nodes_per_site=self.nodes_per_site,
-                calibration=self.calibration)
+                calibration=self.calibration, sanitize=self.sanitize)
             target = None
         else:
-            testbed = base_world(seed=self.seed, calibration=self.calibration)
+            testbed = base_world(seed=self.seed, calibration=self.calibration,
+                                 sanitize=self.sanitize)
             target = self.site_name or _DEFAULT_TARGET[self.scenario]
             profile = CAMPUS if self.scenario == "campus" else WAN
             testbed.add_site(
@@ -164,6 +170,11 @@ class ScenarioHandle:
     @property
     def calibration(self) -> Calibration:
         return self.testbed.calibration
+
+    @property
+    def sanitizer(self):
+        """The environment's lifecycle sanitizer (None unless enabled)."""
+        return self.testbed.env.sanitizer
 
     @property
     def broker(self) -> "CrossBroker":

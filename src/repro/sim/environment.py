@@ -52,7 +52,7 @@ from __future__ import annotations
 from collections import deque
 from functools import partial
 from heapq import heappop, heappush
-from typing import Any, Deque, List, Optional, Tuple
+from typing import Any, Deque, Iterable, List, Optional, Tuple
 
 from .errors import EmptySchedule, SimulationError, StopSimulation
 from .events import AllOf, AnyOf, Event, NORMAL, Timeout, URGENT
@@ -77,9 +77,16 @@ class Environment:
     # ``event``/``timeout`` are *instance* slots holding partials of the
     # constructors (one Python frame cheaper per call than a method).
     __slots__ = ("_now", "_urgent", "_fifo", "_heap", "_eid", "_active_proc",
-                 "tracer", "event", "timeout")
+                 "tracer", "event", "timeout", "sanitizer")
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    #: Class-level default for the ``sanitize`` flag.  Flipped by
+    #: :func:`repro.analysis.sanitizer.sanitize_all` so whole scenario
+    #: builds can be audited without threading a flag through every
+    #: constructor.
+    default_sanitize: bool = False
+
+    def __init__(self, initial_time: float = 0.0, *,
+                 sanitize: Optional[bool] = None) -> None:
         self._now = float(initial_time)
         #: Zero-delay URGENT lane (see module docstring).
         self._urgent: Deque[Entry] = deque()
@@ -94,6 +101,18 @@ class Environment:
         #: counter bookkeeping when unset, so tracing has no cost — not
         #: even an allocation — unless a tracer is installed.
         self.tracer: Optional[Any] = None
+        #: Runtime lifecycle sanitizer (see :mod:`repro.analysis.sanitizer`).
+        #: ``None`` unless ``sanitize=True`` (or the class default is
+        #: flipped by an audit scope); the kernel's hot paths never touch
+        #: it — only the cold construction/failure paths check for it.
+        if sanitize is None:
+            sanitize = Environment.default_sanitize
+        if sanitize:
+            from ..analysis.sanitizer import Sanitizer
+
+            self.sanitizer: Optional[Any] = Sanitizer(self)
+        else:
+            self.sanitizer = None
         # PERF: partial-bound constructors instead of factory methods —
         # `env.timeout(delay, value=None)` and `env.event()` keep their
         # call signatures but cost one Python frame less per call.
@@ -139,19 +158,43 @@ class Environment:
     # they behave exactly like the methods they replace.
 
     def timer(self, callback: Optional[Any] = None,
-              name: Optional[str] = None) -> "Timer":
-        """Create an (unarmed) cancellable/re-armable :class:`Timer`."""
-        return Timer(self, callback=callback, name=name)
+              name: Optional[str] = None,
+              daemon: Optional[bool] = None) -> "Timer":
+        """Create an (unarmed) cancellable/re-armable :class:`Timer`.
+
+        ``daemon=True`` marks a service timer that intentionally stays
+        armed for the whole simulation (exempt from sanitizer leak
+        reports).  The default (``None``) inherits the daemon flag of
+        the process creating the timer: helpers of a service loop are
+        service machinery themselves.
+        """
+        if daemon is None:
+            active = self._active_proc
+            daemon = active.daemon if active is not None else False
+        return Timer(self, callback=callback, name=name, daemon=daemon)
 
     def process(self, generator: "ProcessGenerator",
-                name: Optional[str] = None) -> "Process":
-        """Start a new process from a generator function call."""
-        return Process(self, generator, name=name)
+                name: Optional[str] = None,
+                daemon: Optional[bool] = None) -> "Process":
+        """Start a new process from a generator function call.
 
-    def all_of(self, events) -> AllOf:
+        ``daemon=True`` marks an unbounded service loop (MDS refresh,
+        LRMS cycles, ...) that is expected to outlive the run — the
+        sanitizer does not report it as an unterminated process.  The
+        default (``None``) inherits the spawning process's daemon flag,
+        mirroring Unix process groups: children of service loops are
+        service machinery, so only the *roots* of the grid
+        infrastructure need explicit marks.
+        """
+        if daemon is None:
+            active = self._active_proc
+            daemon = active.daemon if active is not None else False
+        return Process(self, generator, name=name, daemon=daemon)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
-    def any_of(self, events) -> AnyOf:
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
     # -- scheduling --------------------------------------------------------
@@ -348,6 +391,8 @@ class Environment:
                         raise exc
                     raise SimulationError(repr(exc))  # pragma: no cover
         except StopSimulation as stop:
+            if self.sanitizer is not None:
+                self.sanitizer.on_run_exit()
             return stop.value
 
         # Queue drained without the until event firing.
@@ -355,6 +400,8 @@ class Environment:
             raise SimulationError(
                 "No scheduled events left but 'until' event was not triggered"
             )
+        if self.sanitizer is not None:
+            self.sanitizer.on_run_exit()
         return None
 
 

@@ -19,7 +19,8 @@ kernel produced.
 from __future__ import annotations
 
 from heapq import heappush
-from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterable, Iterator,
+                    List, Optional)
 
 from .errors import SimulationError
 
@@ -126,9 +127,14 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
+        env = self.env
+        # Failure is a cold path: the sanitizer hook lives here (and not
+        # in succeed/trigger) so the happy path stays untouched.
+        sanitizer = env.sanitizer
+        if sanitizer is not None:
+            sanitizer.note_failure(self)
         self._ok = False
         self._value = exception
-        env = self.env
         env._eid = eid = env._eid + 1
         env._fifo.append((env._now, NORMAL, eid, self))
         return self
@@ -150,7 +156,7 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None,
-                 *, _push=heappush, _NORMAL=NORMAL) -> None:
+                 *, _push: Any = heappush, _NORMAL: int = NORMAL) -> None:
         # PERF: flattened Event.__init__ + Environment.schedule — a Timeout
         # is born triggered, so both halves collapse to slot stores plus
         # one queue append (FIFO lane when zero-delay, heap otherwise).
@@ -233,7 +239,7 @@ class ConditionValue:
     def __len__(self) -> int:
         return len(self.events)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[Event]":
         return iter(self.events)
 
     def keys(self) -> Iterable[Event]:
@@ -296,7 +302,7 @@ class Condition(Event):
                 callbacks.append(check)
 
         if not self._events and self._value is PENDING:
-            self.succeed(ConditionValue())
+            self.succeed(ConditionValue())  # simlint: disable=trigger-in-init -- empty condition: scheduled, not processed; callbacks can still attach
 
     def _populate_value(self, value: ConditionValue) -> None:
         for event in self._events:

@@ -9,7 +9,7 @@ builds every table and figure series from these.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -27,7 +27,7 @@ class SummaryStats:
     p95: float
 
     @staticmethod
-    def of(values) -> "SummaryStats":
+    def of(values: "Iterable[float]") -> "SummaryStats":
         arr = np.asarray(list(values), dtype=float)
         if arr.size == 0:
             nan = float("nan")

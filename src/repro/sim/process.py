@@ -35,10 +35,10 @@ class Process(Event):
     with the escaping exception.
     """
 
-    __slots__ = ("_generator", "_send", "_throw", "_target", "name")
+    __slots__ = ("_generator", "_send", "_throw", "_target", "name", "daemon")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator,
-                 name: Optional[str] = None) -> None:
+                 name: Optional[str] = None, daemon: bool = False) -> None:
         if not isinstance(generator, GeneratorType):
             raise ValueError(f"{generator!r} is not a generator")
         super().__init__(env)
@@ -47,9 +47,15 @@ class Process(Event):
         self._send = generator.send
         self._throw = generator.throw
         self.name = name or generator.__name__
+        #: Daemon processes are service loops expected to outlive the run
+        #: (exempt from sanitizer alive-process reports).
+        self.daemon = daemon
         #: The event the process is currently waiting for (None if running
         #: right now or finished).
         self._target: Optional[Event] = None
+        sanitizer = env.sanitizer
+        if sanitizer is not None:
+            sanitizer.track_process(self)
         Initialize(env, self)
 
     @property
@@ -155,7 +161,7 @@ class Process(Event):
         )
         try:
             self._throw(error)
-        except BaseException:
+        except BaseException:  # simlint: disable=swallowed-error -- the error is re-raised via the process event two lines down
             pass
         self._ok = False
         self._value = error

@@ -36,7 +36,8 @@ class Request(Event):
     def __enter__(self) -> "Request":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(self, exc_type: Any, exc_value: Any,
+                 traceback: Any) -> None:
         self.cancel()
 
     def cancel(self) -> None:

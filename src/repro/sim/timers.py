@@ -46,7 +46,7 @@ zero-delay arm, keeping the kernel's zero-delay fast path branch-free.
 from __future__ import annotations
 
 from heapq import heappush
-from typing import TYPE_CHECKING, Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional, Tuple
 
 from .events import Event, NORMAL, PENDING
 
@@ -64,14 +64,15 @@ class Timer(Event):
     """
 
     __slots__ = ("_callback", "_fire_value", "_deadline", "_shot_eid",
-                 "_shot_time", "name")
+                 "_shot_time", "name", "daemon")
 
     #: Pop-path discriminator read by the kernel (False on plain events).
     _is_timer = True
 
     def __init__(self, env: "Environment",
                  callback: Optional[Callable[["Timer"], None]] = None,
-                 value: Any = None, name: Optional[str] = None) -> None:
+                 value: Any = None, name: Optional[str] = None,
+                 daemon: bool = False) -> None:
         super().__init__(env)
         self._callback = callback
         self._fire_value = value
@@ -81,6 +82,12 @@ class Timer(Event):
         self._shot_eid: Optional[int] = None
         self._shot_time = 0.0
         self.name = name
+        #: Daemon timers pace unbounded service loops and stay armed for
+        #: the whole run (exempt from sanitizer pending-timer reports).
+        self.daemon = daemon
+        sanitizer = env.sanitizer
+        if sanitizer is not None:
+            sanitizer.track_timer(self)
 
     # -- state ----------------------------------------------------------
     @property
@@ -130,7 +137,7 @@ class Timer(Event):
         self._deadline = None
 
     # -- kernel pop path --------------------------------------------------
-    def _pop_shot(self, entry) -> bool:
+    def _pop_shot(self, entry: "Tuple[float, int, int, Event]") -> bool:
         """Handle a popped heap shot; return True iff the timer fired.
 
         Tombstone and deferral pops do **not** advance the simulation

@@ -125,17 +125,20 @@ class ConsoleAgent:
                                info=self.mode.value)
         yield from conn.send(hello, FRAME_OVERHEAD)
         self.sender.attach(conn)
-        self.env.process(self._receive_loop(), name=f"{self.name}/recv")
+        self.env.process(self._receive_loop(), name=f"{self.name}/recv",
+                         daemon=True)  # session pump: lives with the console
         if not self.connected.triggered:
             self.connected.succeed()
 
     def send_eof(self) -> Generator:
         self.out_buffer.flush()
         self.err_buffer.flush()
-        # Let the sender drain before the EOF marker (bounded wait).
+        # Let the sender drain before the EOF marker (bounded wait);
+        # re-armable poll timer instead of one event per 10 ms cycle.
         deadline = self.env.now + 2.0
+        drain_poll = self.env.timer(name=f"{self.name}/eof-drain")
         while not self.sender.idle and self.env.now < deadline:
-            yield self.env.timeout(0.01)
+            yield drain_poll.arm(0.01)
         if self.conn is not None:
             try:
                 yield from self.conn.send(
@@ -153,6 +156,9 @@ class ConsoleAgent:
     def _receive_loop(self) -> Generator:
         """Input path: stdin chunks and control messages from the shadow."""
         assert self.conn is not None
+        # Re-armable spool-delay timer: reliable mode pays a disk cost per
+        # inbound chunk, which is exactly the timer-churn pattern.
+        spool_pace = self.env.timer(name=f"{self.name}/spool-in-pace")
         while True:
             try:
                 message = yield from self.conn.recv()
@@ -165,7 +171,7 @@ class ConsoleAgent:
                         f"{self.name}/spool-in",
                         self.costs.disk_per_op
                         + message.nbytes * self.costs.disk_per_byte, 0.15)
-                    yield self.env.timeout(cost)
+                    yield spool_pace.arm(cost)
                 self.stdin.put(message)
             elif isinstance(message, ControlMessage):
                 if message.kind is ControlKind.KILL:

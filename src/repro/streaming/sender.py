@@ -66,7 +66,8 @@ class ChunkSender:
         #: timer-churn case the two-lane kernel's Timer exists for).
         self._retry_timer = Timer(env, name=f"{name}/retry")
         self._pace_timer = Timer(env, name=f"{name}/pace")
-        self._proc = env.process(self._run(), name=name)
+        self._proc = env.process(self._run(), name=name,
+                                 daemon=True)  # session pump: lives with the console
 
     # -- wiring ---------------------------------------------------------
     def attach(self, conn: ConnectionEnd) -> None:

@@ -79,10 +79,11 @@ class InteractiveSession:
                 if proc is not None and proc.is_alive:
                     try:
                         proc.interrupt(f"killed by console: {reason}")
-                    except Exception:  # noqa: BLE001 - already ending
+                    except Exception:  # noqa: BLE001  # simlint: disable=swallowed-error -- interrupt on an already-ending process is best-effort
                         pass
 
-            self.env.process(enforcer(), name=f"{agent.name}/enforcer")
+            self.env.process(enforcer(), name=f"{agent.name}/enforcer",
+                             daemon=True)  # armed for the session lifetime
 
         return setup
 
@@ -130,5 +131,5 @@ class InteractiveSession:
             if proc.is_alive:
                 try:
                     proc.interrupt(f"streaming fatal: {reason}")
-                except Exception:  # noqa: BLE001 - already finishing
+                except Exception:  # noqa: BLE001  # simlint: disable=swallowed-error -- fatal teardown; the job is being killed anyway
                     continue

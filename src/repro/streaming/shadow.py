@@ -82,8 +82,12 @@ class ConsoleShadow:
         self._present_buffer = StreamBuffer(
             env, StreamName.STDOUT, costs.buffer_size, costs.flush_timeout,
             name=f"js/{ui_host}/present")
-        env.process(self._accept_loop(), name=f"js/{ui_host}/accept")
-        env.process(self._present_loop(), name=f"js/{ui_host}/present")
+        # Service roots: the shadow listens and presents for as long as
+        # the user keeps the console open.
+        env.process(self._accept_loop(), name=f"js/{ui_host}/accept",
+                    daemon=True)
+        env.process(self._present_loop(), name=f"js/{ui_host}/present",
+                    daemon=True)
         self.closed = False
 
     # -- user-facing API ---------------------------------------------------
@@ -116,7 +120,7 @@ class ConsoleShadow:
                 yield from conn.send(
                     ControlMessage(ControlKind.KILL, subjob=subjob,
                                    info=reason), FRAME_OVERHEAD)
-            except Exception:  # noqa: BLE001 - best-effort broadcast
+            except Exception:  # noqa: BLE001  # simlint: disable=swallowed-error -- best-effort broadcast; dead agents are skipped
                 continue
 
     def close(self) -> None:

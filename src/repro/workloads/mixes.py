@@ -125,9 +125,11 @@ def replay(env, broker, arrivals: List[JobArrival], behavior_for,
 
     def feeder():
         t_prev = 0.0
+        # Re-armable pacing timer for the whole arrival sequence.
+        pace = env.timer(name="mix/feeder/pace")
         for arrival in arrivals:
             if arrival.at > t_prev:
-                yield env.timeout(arrival.at - t_prev)
+                yield pace.arm(arrival.at - t_prev)
             t_prev = arrival.at
             record = broker.submit(
                 arrival.job,

@@ -1,0 +1,8 @@
+"""Fixture: bare-except fires."""
+
+
+def risky(fn):
+    try:
+        return fn()
+    except:
+        return None

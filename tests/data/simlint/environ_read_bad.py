@@ -1,0 +1,8 @@
+"""Fixture: environ-read fires on os.environ and os.getenv."""
+import os
+
+
+def load():
+    a = os.environ.get("REPRO_X", "1")
+    b = os.getenv("REPRO_Y")
+    return a, b

@@ -1,0 +1,8 @@
+"""Fixture: sanctioned config-layer reads carry suppressions."""
+import os
+
+
+def load():
+    a = os.environ.get("REPRO_X", "1")  # simlint: disable=environ-read -- config layer
+    b = os.getenv("REPRO_Y")  # simlint: disable=environ-read -- config layer
+    return a, b

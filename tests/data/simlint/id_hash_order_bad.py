@@ -1,0 +1,8 @@
+"""Fixture: id-hash-order fires outside cosmetic dunders."""
+
+
+def dedup(events):
+    seen = {}
+    for ev in events:
+        seen[id(ev)] = ev
+    return sorted(seen, key=hash)

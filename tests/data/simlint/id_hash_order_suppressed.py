@@ -1,0 +1,13 @@
+"""Fixture: cosmetic dunder exemption + inline suppression."""
+
+
+class Thing:
+    def __repr__(self):
+        return f"<Thing {id(self):#x}>"  # exempt: cosmetic dunder
+
+
+def dedup(events):
+    seen = {}
+    for ev in events:
+        seen[id(ev)] = ev  # simlint: disable=id-hash-order -- never ordered
+    return list(seen.values())

@@ -1,0 +1,8 @@
+"""Fixture: kernel-queue-push fires on foreign queue/eid manipulation."""
+from heapq import heappush
+
+
+def smuggle(env, event):
+    heappush(env._heap, (0.0, 0, 99, event))
+    env._fifo.append((0.0, 0, 100, event))
+    env._eid = 12345

@@ -1,0 +1,8 @@
+"""Fixture: same pushes, suppressed (as the kernel files themselves do)."""
+from heapq import heappush
+
+
+def smuggle(env, event):
+    heappush(env._heap, (0.0, 0, 99, event))  # simlint: disable=kernel-queue-push -- fixture
+    env._fifo.append((0.0, 0, 100, event))  # simlint: disable=kernel-queue-push -- fixture
+    env._eid = 12345  # simlint: disable=kernel-queue-push -- fixture

@@ -1,0 +1,11 @@
+"""Fixture: raw-timeout-loop fires on .timeout() under any loop."""
+
+
+def poller(env):
+    while True:
+        yield env.timeout(0.05)
+
+
+def pacer(env, jobs):
+    for _ in jobs:
+        yield env.timeout(1.0)

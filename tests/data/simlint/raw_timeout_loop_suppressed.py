@@ -1,0 +1,12 @@
+"""Fixture: justified churn + the Timer replacement is clean."""
+
+
+def poller(env):
+    while True:
+        yield env.timeout(0.05)  # simlint: disable=raw-timeout-loop -- measured workload
+
+
+def pacer(env, jobs):
+    pace = env.timer(name="pace")
+    for _ in jobs:
+        yield pace.arm(1.0)  # clean: re-armable Timer, no churn

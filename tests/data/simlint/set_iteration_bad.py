@@ -1,0 +1,10 @@
+"""Fixture: set-iteration must fire on every unordered-iteration form."""
+sites = {"uab", "ifca", "pic"}
+
+
+def schedule(pending):
+    for site in sites | {"cern"}:      # set algebra in a for
+        print(site)
+    names = [s for s in set(pending)]  # comprehension over set()
+    order = list({"a", "b"})           # list() over a set literal
+    return names, order

@@ -1,0 +1,10 @@
+"""Fixture: the same hazards, each suppressed with a justification."""
+sites = {"uab", "ifca", "pic"}
+
+
+def schedule(pending):
+    for site in sites | {"cern"}:  # simlint: disable=set-iteration -- order irrelevant: pure counting
+        print(site)
+    names = [s for s in set(pending)]  # simlint: disable=set-iteration -- re-sorted by caller
+    order = list({"a", "b"})  # simlint: disable=set-iteration -- fixture
+    return names, order

@@ -1,0 +1,16 @@
+"""Fixture: swallowed-error fires on pass-only broad handlers."""
+
+
+def quiet(fn):
+    try:
+        fn()
+    except Exception:
+        pass
+
+
+def quieter(items):
+    for item in items:
+        try:
+            item.close()
+        except BaseException:
+            continue

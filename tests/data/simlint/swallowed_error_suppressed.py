@@ -1,0 +1,16 @@
+"""Fixture: justified swallows; handled broad catches are clean."""
+import logging
+
+
+def quiet(fn):
+    try:
+        fn()
+    except Exception:  # simlint: disable=swallowed-error -- best-effort teardown
+        pass
+
+
+def handled(fn):
+    try:
+        fn()
+    except Exception as exc:
+        logging.warning("failed: %s", exc)

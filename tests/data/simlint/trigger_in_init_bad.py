@@ -1,0 +1,7 @@
+"""Fixture: trigger-in-init fires on constructor-time triggering."""
+
+
+class Ready:
+    def __init__(self, env):
+        self.done = env.event()
+        self.done.succeed()

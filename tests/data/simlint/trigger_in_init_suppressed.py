@@ -1,0 +1,10 @@
+"""Fixture: audited constructor-time trigger with justification."""
+
+
+class Ready:
+    def __init__(self, env):
+        self.done = env.event()
+        self.done.succeed()  # simlint: disable=trigger-in-init -- scheduled, not processed; callers can still attach
+
+    def finish(self):
+        self.done.succeed()  # clean: post-construction trigger

@@ -1,0 +1,10 @@
+"""Fixture: unseeded-random fires on global random/numpy draws."""
+import random
+
+import numpy as np
+
+
+def jitter():
+    a = random.random()
+    b = np.random.normal(0.0, 1.0)
+    return a + b

@@ -1,0 +1,10 @@
+"""Fixture: suppressed global draws."""
+import random
+
+import numpy as np
+
+
+def jitter():
+    a = random.random()  # simlint: disable=unseeded-random -- fixture
+    b = np.random.normal(0.0, 1.0)  # simlint: disable=unseeded-random -- fixture
+    return a + b

@@ -1,0 +1,10 @@
+"""Fixture: wallclock fires on time.time/monotonic and datetime.now."""
+import time
+from datetime import datetime
+
+
+def stamp():
+    t0 = time.time()
+    t1 = time.monotonic()
+    d = datetime.now()
+    return t0, t1, d

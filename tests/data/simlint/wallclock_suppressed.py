@@ -1,0 +1,11 @@
+"""Fixture: file-level suppression covers every wallclock read."""
+# simlint: disable-file=wallclock -- host-side fixture, never enters sim state
+import time
+from datetime import datetime
+
+
+def stamp():
+    t0 = time.time()
+    t1 = time.monotonic()
+    d = datetime.now()
+    return t0, t1, d

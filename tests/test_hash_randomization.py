@@ -1,0 +1,41 @@
+"""Hash-randomization determinism: renders are independent of PYTHONHASHSEED.
+
+Python randomizes ``str``/``bytes`` hashing per interpreter run, so any
+accidental dependence on dict/set *hash* order (as opposed to insertion
+order) produces output that differs between interpreter invocations.
+The simlint ``set-iteration`` / ``id-hash-order`` rules catch the
+pattern statically; this test catches it end-to-end: the full quick
+render must be byte-identical under two adversarially different hash
+seeds, and equal to the checked-in golden render.
+"""
+
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+GOLDEN = os.path.join(REPO, "tests", "golden", "experiments_quick.out")
+
+
+def _run_quick(hash_seed: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = hash_seed
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "run", "all", "--quick",
+         "--no-cache", "--no-progress"],
+        capture_output=True, text=True, timeout=600, cwd=REPO, env=env)
+
+
+def test_quick_render_is_stable_across_hash_seeds():
+    a = _run_quick("1")
+    b = _run_quick("4242424242")
+    assert a.returncode == 0, a.stderr[-2000:]
+    assert b.returncode == 0, b.stderr[-2000:]
+    assert a.stdout == b.stdout, (
+        "render differs between PYTHONHASHSEED=1 and =4242424242 — "
+        "something iterates a set or keys on hash order")
+    with open(GOLDEN, encoding="utf-8") as fh:
+        golden = fh.read()
+    assert a.stdout == golden, "render drifted from the golden file"
