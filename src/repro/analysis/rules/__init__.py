@@ -3,9 +3,9 @@
 ``ALL_RULES`` is the default rule set used by ``repro lint`` and the CI
 gate; ``rules_by_id`` supports ``--select``-style subsets and the
 fixture tests.  Adding a rule: subclass :class:`repro.analysis.engine.Rule`
-in :mod:`.determinism` or :mod:`.kernel` (or a new module), then append
-an instance here — the engine, CLI, JSON report, and docs table pick it
-up from this registry.
+in :mod:`.determinism`, :mod:`.kernel` or :mod:`.layering` (or a new
+module), then append an instance here — the engine, CLI, JSON report,
+and docs table pick it up from this registry.
 """
 
 from __future__ import annotations
@@ -27,10 +27,11 @@ from .kernel import (
     SwallowedErrorRule,
     TriggerInInitRule,
 )
+from .layering import ObsDirectImportRule
 
 __all__ = ["ALL_RULES", "rules_by_id"]
 
-#: Default rule set, in catalog order (determinism first, then kernel).
+#: Default rule set, in catalog order (determinism, kernel, layering).
 ALL_RULES: List[Rule] = [
     SetIterationRule(),
     UnseededRandomRule(),
@@ -42,6 +43,7 @@ ALL_RULES: List[Rule] = [
     TriggerInInitRule(),
     BareExceptRule(),
     SwallowedErrorRule(),
+    ObsDirectImportRule(),
 ]
 
 

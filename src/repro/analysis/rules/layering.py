@@ -1,0 +1,85 @@
+"""Layering rules.
+
+The observability stack (``repro.obs``) hangs off the environment as
+optional hooks: ``env.tracer`` and ``env.telemetry`` are ``None`` unless
+a scenario (or scope) installs them, and instrumented layers only ever
+read the attribute::
+
+    t = self.env.telemetry
+    if t is not None:
+        t.counter("broker.submits").inc()
+
+That inversion is what keeps observability zero-cost when uninstalled
+and keeps ``obs`` free to import every layer it observes without cycles.
+A *direct* ``repro.obs`` import from an instrumented layer breaks both
+properties at once, so the rule below enforces the boundary statically.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Tuple, Type
+
+from ..engine import LintContext, Rule
+
+__all__ = ["ObsDirectImportRule"]
+
+
+class ObsDirectImportRule(Rule):
+    """``repro.obs`` imported from an instrumented layer.
+
+    ``core/``, ``streaming/``, ``multiprog/``, ``grid/`` and ``net/``
+    are *observed* layers: they must reach observability exclusively
+    through the ``env.tracer`` / ``env.telemetry`` hooks (``None`` when
+    not installed), never by importing :mod:`repro.obs`.  Importing it
+    directly inverts the dependency arrow (obs imports the layers it
+    observes), reintroduces overhead for uninstrumented runs, and risks
+    import cycles.
+    """
+
+    id = "obs-direct-import"
+    category = "layering"
+    summary = ("instrumented layers (core/streaming/multiprog/grid/net) "
+               "must not import repro.obs — use the env.telemetry/"
+               "env.tracer hooks")
+    node_types: Tuple[Type[ast.AST], ...] = (ast.Import, ast.ImportFrom)
+
+    #: Path segments marking the instrumented (observed) layers.
+    _RESTRICTED = ("core", "streaming", "multiprog", "grid", "net")
+
+    def applies_to(self, relpath: str) -> bool:
+        parts = relpath.replace(os.sep, "/").split("/")
+        return any(segment in parts for segment in self._RESTRICTED)
+
+    def _report(self, node: ast.AST, ctx: LintContext, what: str) -> None:
+        ctx.report(self, node,
+                   f"{what} from an instrumented layer — read the "
+                   f"env.telemetry/env.tracer hook instead "
+                   f"(`t = env.telemetry` / `if t is not None:`)")
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.name
+                if name == "repro.obs" or name.startswith("repro.obs."):
+                    self._report(node, ctx, f"import {name}")
+            return
+        assert isinstance(node, ast.ImportFrom)
+        module = node.module or ""
+        # Absolute: from repro.obs[.x] import ... / from repro import obs
+        if module == "repro.obs" or module.startswith("repro.obs."):
+            self._report(node, ctx, f"from {module} import ...")
+            return
+        if module == "repro" and any(a.name == "obs" for a in node.names):
+            self._report(node, ctx, "from repro import obs")
+            return
+        # Relative: from ..obs[.x] import ... / from .. import obs
+        if node.level >= 1:
+            if module == "obs" or module.startswith("obs."):
+                dots = "." * node.level
+                self._report(node, ctx,
+                             f"from {dots}{module} import ...")
+            elif not module and any(a.name == "obs" for a in node.names):
+                dots = "." * node.level
+                self._report(node, ctx, f"from {dots} import obs")

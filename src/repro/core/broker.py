@@ -165,6 +165,11 @@ class CrossBroker:
             self._run(submitted, behavior_factory),
             name=f"broker/{job.job_id}", daemon=daemon)
         self.reports.append(report)
+        t = self.env.telemetry
+        if t is not None:
+            t.counter("broker.submits").inc()
+            kind = "interactive" if job.is_interactive else "batch"
+            t.counter(f"broker.submits.{kind}").inc()
         return submitted
 
     def submit_and_wait(self, job: JobDescription,
@@ -289,10 +294,15 @@ class CrossBroker:
             if tr is not None:
                 tr.count("broker_queued", job=job.job_id)
             self._queued_batch.append(submitted)
+            t = self.env.telemetry
+            if t is not None:
+                t.gauge("broker.queue.batch").set(len(self._queued_batch))
             try:
                 yield poll.arm(self.config.queue_poll_interval)
             finally:
                 self._queued_batch.remove(submitted)
+                if t is not None:
+                    t.gauge("broker.queue.batch").set(len(self._queued_batch))
             outcome = yield from self.selector.discover()
             adverts, _ = outcome
             self._note_grid_size(adverts)
@@ -355,10 +365,15 @@ class CrossBroker:
         tr = self.env.tracer
         span = tr.begin("match", job=job.job_id, path="registry") \
             if tr is not None else None
+        match_started = self.env.now
         yield self.env.timeout(self.rng.jitter(
             "broker/registry", self.config.registry_lookup_cost, 0.2))
         if tr is not None:
             tr.end(span)
+        t = self.env.telemetry
+        if t is not None:
+            t.histogram("broker.match_latency.registry").observe(
+                self.env.now - match_started)
         report.discovery_time = 0.0
         report.selection_time = self.env.now - report.submitted_at
 
@@ -437,6 +452,7 @@ class CrossBroker:
         tr = self.env.tracer
         span = tr.begin("match", job=job.job_id, path="mds") \
             if tr is not None else None
+        match_started = self.env.now
         adverts, discovery_time = yield from self.selector.discover()
         report.discovery_time = discovery_time
         self._note_grid_size(adverts)
@@ -448,6 +464,10 @@ class CrossBroker:
                        selection=outcome.selection_time)
         if tr is not None:
             tr.end(span)
+        t = self.env.telemetry
+        if t is not None:
+            t.histogram("broker.match_latency.mds").observe(
+                self.env.now - match_started)
         return outcome.candidates
 
     def _note_grid_size(self, adverts) -> None:

@@ -152,6 +152,7 @@ class LocalBatchSystem:
             started=self.env.event(), finished=self.env.event(),
         )
         self.queue.append(handle)
+        self._publish_telemetry()
         self._wake()
         return handle
 
@@ -167,6 +168,14 @@ class LocalBatchSystem:
         return False
 
     # -- internals ---------------------------------------------------------
+    def _publish_telemetry(self) -> None:
+        """Refresh the per-site node gauges (no-op when uninstalled)."""
+        t = self.env.telemetry
+        if t is not None:
+            t.gauge(f"lrms.running.{self.site}").set(len(self.running))
+            t.gauge(f"lrms.idle.{self.site}").set(self.free_count)
+            t.gauge(f"lrms.pending.{self.site}").set(len(self.queue))
+
     def _wake(self) -> None:
         # Pull the next cycle forward to *now*.  The flag covers kicks that
         # arrive before the scheduler process has started (or while it is
@@ -233,6 +242,7 @@ class LocalBatchSystem:
         handle.state = JobState.RUNNING
         handle.started_at = self.env.now
         self.running[handle.local_id] = handle
+        self._publish_telemetry()
         if handle.started is not None and not handle.started.triggered:
             handle.started.succeed(node.name)
         proc = node.execute(handle.behavior, handle.label,
@@ -275,4 +285,5 @@ class LocalBatchSystem:
                 self.running.pop(handle.local_id, None)
                 if node.owner == handle.local_id:
                     node.release(handle.local_id)
+                self._publish_telemetry()
                 self._wake()

@@ -136,6 +136,10 @@ class WorkerCpu:
         if elapsed > 0:
             yield self.env.timeout(elapsed)
         tenant.consumed += work
+        t = self.env.telemetry
+        if t is not None:
+            kind = "interactive" if tenant.interactive else "batch"
+            t.counter(f"cpu.consumed.{kind}").inc(work)
         return elapsed
 
     def io_delay(self, tenant: Tenant, stream: Optional[str] = None) -> float:

@@ -8,6 +8,12 @@ from .phases import (
     write_trace_csv,
     write_trace_json,
 )
+from .telemetry_tables import (
+    telemetry_counters_table,
+    telemetry_gauges_table,
+    telemetry_histograms_table,
+    telemetry_overview,
+)
 from .timeline import JobLane, render_timeline
 from .series import (
     Series,
@@ -43,5 +49,9 @@ __all__ = [
     "ratio",
     "relative_increase",
     "sparkline",
+    "telemetry_counters_table",
+    "telemetry_gauges_table",
+    "telemetry_histograms_table",
+    "telemetry_overview",
     "winner",
 ]

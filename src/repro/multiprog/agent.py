@@ -136,6 +136,11 @@ class AgentRuntime:
             if tr is not None else None
         slot.occupy(label, self.env.now)
         self.jobs_dispatched += 1
+        t = self.env.telemetry
+        if t is not None:
+            t.counter("vm.dispatches").inc()
+            t.counter(f"vm.dispatches.{kind.value}").inc()
+            t.gauge(f"vm.slots_busy.{kind.value}").inc()
         yield self.env.timeout(self.rng.jitter(
             f"{self.agent_id}/slot-setup", self.costs.agent_slot_setup, 0.12))
         ticket = AgentJobTicket(label, kind, self.env.event(),
@@ -159,6 +164,9 @@ class AgentRuntime:
             finally:
                 self._guests.pop(label, None)
                 slot.vacate(label)
+                t = self.env.telemetry
+                if t is not None:
+                    t.gauge(f"vm.slots_busy.{kind.value}").dec()
                 if kind is VmKind.BATCH:
                     self._batch_done = True
                 self._maybe_leave()

@@ -35,6 +35,9 @@ class AgentRegistry:
     def register(self, runtime: AgentRuntime, site: str) -> AgentRecord:
         record = AgentRecord(runtime, site, self.env.now)
         self._records[runtime.agent_id] = record
+        t = self.env.telemetry
+        if t is not None:
+            t.gauge("vm.agents_live").set(len(self._records))
         self.env.process(self._watch(runtime), name=f"watch/{runtime.agent_id}")
         return record
 
@@ -43,6 +46,9 @@ class AgentRegistry:
         if runtime.dead.triggered:
             self.deaths.append(runtime.agent_id)
         self._records.pop(runtime.agent_id, None)
+        t = self.env.telemetry
+        if t is not None:
+            t.gauge("vm.agents_live").set(len(self._records))
 
     # -- lookups (local, zero network cost by design) -----------------------
     def live_agents(self) -> List[AgentRecord]:

@@ -123,7 +123,14 @@ class ConnectionEnd:
         delay = self.network.transfer_time(self.local, self.remote, nbytes,
                                            stream=f"conn/{self.label}")
         delay = self.network.ordered_arrival(self.flow_id, delay)
-        yield self.env.timeout(delay)
+        t = self.env.telemetry
+        if t is not None:
+            t.gauge("net.in_flight_bytes").inc(nbytes)
+        try:
+            yield self.env.timeout(delay)
+        finally:
+            if t is not None:
+                t.gauge("net.in_flight_bytes").dec(nbytes)
         if self.closed or self.peer is None or self.peer.closed:
             raise ConnectionClosedError(f"{self.label}: peer closed mid-flight")
         # A failure window that opened during flight kills the delivery.

@@ -1,0 +1,152 @@
+"""Chrome/Perfetto ``trace_event`` export: spans + counter tracks in one file.
+
+The Trace Event Format (the JSON flavour understood by ``chrome://tracing``
+and `ui.perfetto.dev <https://ui.perfetto.dev>`_) is the lingua franca for
+timeline visualisation.  :func:`chrome_trace` merges the two observability
+sources of this project into one event list:
+
+* :class:`~repro.obs.tracer.Tracer` spans become ``"X"`` (complete)
+  events — one named slice per span, grouped into one *thread track per
+  job* (tids assigned in first-appearance order, so the file is
+  deterministic) with job-less spans on a shared ``(global)`` track;
+* tracer ring-buffer events become ``"i"`` (instant) marks on the track
+  of their job, or the global track when unattributed;
+* :class:`~repro.obs.telemetry.Telemetry` time series become ``"C"``
+  (counter) tracks — queue depths, backlog bytes, slot occupancy render
+  as the stacked area charts the paper's Figs. 6-8 are made of.
+
+Timestamps: the format wants microseconds.  Simulation time is seconds,
+so ``ts = sim_time * 1e6`` — one simulated second reads as one second on
+the Perfetto timeline.  Zero-duration spans are clamped to ``dur >= 1``
+(Perfetto drops 0-width slices entirely).
+
+The exporter is read-only over its inputs and pure over its output: the
+same tracer/telemetry state always serialises to the same JSON bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .telemetry import Telemetry
+    from .tracer import Tracer
+
+__all__ = ["chrome_trace", "export_chrome_trace"]
+
+#: pid of the span/instant timeline (one "process" per trace source).
+SPAN_PID = 1
+#: pid of the telemetry counter tracks.
+COUNTER_PID = 2
+#: tid of the shared track for job-less spans/instants.
+GLOBAL_TID = 0
+
+_US = 1_000_000.0  # sim-seconds -> trace microseconds
+
+
+def _span_args(span: Any) -> Dict[str, Any]:
+    args: Dict[str, Any] = {}
+    if span.site is not None:
+        args["site"] = span.site
+    if span.status != "ok":
+        args["status"] = span.status
+    if span.meta:
+        for key in sorted(span.meta):
+            args[key] = span.meta[key]
+    return args
+
+
+def chrome_trace(tracer: Optional["Tracer"] = None,
+                 telemetry: Optional["Telemetry"] = None,
+                 snapshot: Optional[Mapping[str, Any]] = None,
+                 ) -> Dict[str, Any]:
+    """Build a Chrome ``trace_event`` document (a JSON-ready dict).
+
+    Any combination of sources may be given: ``tracer`` contributes span
+    and instant tracks, ``telemetry`` (a live registry) or ``snapshot``
+    (a :meth:`Telemetry.snapshot` dict, e.g. out of the runner cache)
+    contributes counter tracks.  Returns
+    ``{"traceEvents": [...], "displayTimeUnit": "ms"}``.
+    """
+    events: List[Dict[str, Any]] = []
+
+    # -- process metadata (named tracks group nicely in the Perfetto UI).
+    if tracer is not None:
+        events.append({"ph": "M", "pid": SPAN_PID, "tid": GLOBAL_TID,
+                       "name": "process_name",
+                       "args": {"name": "job lifecycle (spans)"}})
+        events.append({"ph": "M", "pid": SPAN_PID, "tid": GLOBAL_TID,
+                       "name": "thread_name", "args": {"name": "(global)"}})
+
+        # Deterministic job -> tid mapping: first appearance over the
+        # retained spans (end order), then over ring events.
+        tids: Dict[str, int] = {}
+
+        def tid_of(job: Optional[str]) -> int:
+            if job is None:
+                return GLOBAL_TID
+            tid = tids.get(job)
+            if tid is None:
+                tid = tids[job] = len(tids) + 1
+                events.append({"ph": "M", "pid": SPAN_PID, "tid": tid,
+                               "name": "thread_name", "args": {"name": job}})
+            return tid
+
+        for span in tracer.spans:
+            if span.end is None:  # still open: not representable as "X"
+                continue
+            dur = (span.end - span.start) * _US
+            events.append({
+                "ph": "X", "pid": SPAN_PID, "tid": tid_of(span.job),
+                "name": span.name, "cat": "span",
+                "ts": span.start * _US, "dur": dur if dur >= 1.0 else 1.0,
+                "args": _span_args(span),
+            })
+        for ring in tracer.events:
+            data = ring.data
+            job = data.get("job")
+            args = {key: data[key] for key in sorted(data)}
+            events.append({
+                "ph": "i", "pid": SPAN_PID,
+                "tid": tid_of(job if isinstance(job, str) else None),
+                "name": ring.kind, "cat": "event", "s": "t",
+                "ts": ring.time * _US, "args": args,
+            })
+
+    # -- counter tracks from telemetry series.
+    series: Mapping[str, Any] = {}
+    if telemetry is not None:
+        snapshot = telemetry.snapshot()
+    if snapshot is not None:
+        series = snapshot.get("series", {})
+    if series:
+        events.append({"ph": "M", "pid": COUNTER_PID, "tid": GLOBAL_TID,
+                       "name": "process_name",
+                       "args": {"name": "telemetry (counters)"}})
+        for name in sorted(series):
+            for time, value in series[name]:
+                events.append({
+                    "ph": "C", "pid": COUNTER_PID, "tid": GLOBAL_TID,
+                    "name": name, "cat": "telemetry",
+                    "ts": time * _US, "args": {"value": value},
+                })
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(path: str,
+                        tracer: Optional["Tracer"] = None,
+                        telemetry: Optional["Telemetry"] = None,
+                        snapshot: Optional[Mapping[str, Any]] = None,
+                        ) -> int:
+    """Serialise :func:`chrome_trace` to ``path``; returns the event count.
+
+    The document is written with sorted keys and no whitespace variance,
+    so identical observability state produces byte-identical files.
+    """
+    doc = chrome_trace(tracer=tracer, telemetry=telemetry, snapshot=snapshot)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+    return len(doc["traceEvents"])

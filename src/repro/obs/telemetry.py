@@ -1,0 +1,446 @@
+"""Sim-time metrics registry: counters, gauges, histograms, time series.
+
+The paper's evaluation is read off continuous signals — queue depths
+while the broker matches, spool backlogs while the reliable sender rides
+out an outage, VM-slot occupancy under glide-in multiprogramming, free
+nodes per LRMS — yet spans (:mod:`repro.obs.tracer`) only capture
+*intervals*.  :class:`Telemetry` adds the missing time-series view.
+
+Hook contract (mirrors ``env.tracer`` exactly):
+
+* ``env.telemetry`` is ``None`` unless a registry is installed; the
+  instrumented layers (core, streaming, multiprog, grid, net) read the
+  attribute and skip everything when it is unset::
+
+      t = self.env.telemetry
+      if t is not None:
+          t.gauge("broker.queue.batch").inc()
+
+  so an uninstrumented run pays one attribute load per hook and
+  allocates nothing.  The layers never import ``repro.obs`` (enforced
+  by the ``obs-direct-import`` simlint rule).
+* **Read-only**: recording a sample never creates events, consumes
+  kernel eids, or draws from an RNG stream — installing telemetry is
+  guaranteed not to change the simulation outcome, which is what keeps
+  the golden renders byte-identical with telemetry on.  (The one
+  exception is the *opt-in* sampling timer, see below.)
+* **Bounded memory**: every :class:`TimeSeries` is capped at
+  ``max_points`` via deterministic stride decimation (keep every 2nd
+  retained point, double the stride), and histograms keep exact
+  aggregates plus a bounded percentile window, so soaks cannot grow the
+  registry unboundedly.
+
+Sampling modes
+--------------
+The default is **on-change** recording: each gauge/counter update
+appends a ``(sim_time, value)`` point (subject to decimation).  A
+registry may additionally be given ``sample_interval=...`` to arm a
+periodic sampling timer that snapshots every gauge on a fixed cadence —
+useful for dashboards, but the timer consumes kernel event ids and so
+*does* perturb the event interleaving; never enable it on a run whose
+output must stay byte-identical to an untelemetered one.
+
+Snapshots
+---------
+:meth:`Telemetry.snapshot` returns a JSON-able, deterministically
+ordered dict; :func:`merge_snapshots` folds many snapshots (one per
+runner cell, or one per environment built inside a cell) into one.
+:func:`telemetry_scope` installs a factory on
+:class:`~repro.sim.environment.Environment` so every environment built
+inside the scope gets a registry automatically — the sharded runner uses
+it to carry per-cell telemetry through its content-addressed cache.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from typing import (TYPE_CHECKING, Any, Dict, Iterator, List, Optional,
+                    Sequence, Tuple)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Telemetry",
+    "TimeSeries",
+    "merge_snapshots",
+    "scope_snapshot",
+    "telemetry_scope",
+]
+
+
+class TimeSeries:
+    """A bounded ``(sim_time, value)`` sequence with stride decimation.
+
+    Offered points are recorded every ``stride``-th time; when the
+    retained list reaches ``max_points`` it is thinned to every 2nd
+    point and the stride doubles.  The retained set is a pure function
+    of the offered sequence, so two identical runs produce identical
+    series regardless of how long they are.
+    """
+
+    __slots__ = ("name", "max_points", "points", "stride", "offered")
+
+    def __init__(self, name: str, max_points: int = 1024) -> None:
+        if max_points < 2:
+            raise ValueError("max_points must be >= 2")
+        self.name = name
+        self.max_points = max_points
+        self.points: List[Tuple[float, float]] = []
+        self.stride = 1
+        self.offered = 0
+
+    def record(self, time: float, value: float) -> None:
+        take = self.offered % self.stride == 0
+        self.offered += 1
+        if not take:
+            return
+        self.points.append((time, value))
+        if len(self.points) >= self.max_points:
+            del self.points[1::2]  # keep every 2nd point (0, 2, 4, ...)
+            self.stride *= 2
+
+    def values(self) -> List[float]:
+        return [v for _, v in self.points]
+
+    def to_list(self) -> List[List[float]]:
+        return [[t, v] for t, v in self.points]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class Counter:
+    """A monotonically increasing count (float-valued: CPU-seconds etc.)."""
+
+    __slots__ = ("name", "value", "_telemetry", "_series")
+
+    def __init__(self, name: str, telemetry: "Telemetry",
+                 series: Optional[TimeSeries] = None) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self._telemetry = telemetry
+        self._series = series
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+        if self._series is not None:
+            self._series.record(self._telemetry.env.now, self.value)
+
+
+class Gauge:
+    """A point-in-time level (queue depth, backlog bytes, busy slots)."""
+
+    __slots__ = ("name", "value", "minimum", "maximum", "updates",
+                 "_telemetry", "_series")
+
+    def __init__(self, name: str, telemetry: "Telemetry",
+                 series: Optional[TimeSeries] = None) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self.minimum: float = 0.0
+        self.maximum: float = 0.0
+        self.updates = 0
+        self._telemetry = telemetry
+        self._series = series
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updates += 1
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if self._series is not None:
+            self._series.record(self._telemetry.env.now, value)
+
+    def inc(self, n: float = 1.0) -> None:
+        self.set(self.value + n)
+
+    def dec(self, n: float = 1.0) -> None:
+        self.set(self.value - n)
+
+    def sample(self) -> None:
+        """Append the current level to the series without changing it."""
+        if self._series is not None:
+            self._series.record(self._telemetry.env.now, self.value)
+
+
+class Histogram:
+    """Exact aggregates of observed values plus a bounded percentile
+    window (same retention model as :class:`~repro.obs.tracer.PhaseStats`)."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "_window")
+
+    def __init__(self, name: str, window: int = 1024) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = 0.0
+        self._window: deque = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        self._window.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        if not self._window:
+            return float("nan")
+        ordered = sorted(self._window)
+        idx = (len(ordered) - 1) * (q / 100.0)
+        lo = int(idx)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = idx - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean if self.count else None,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "p50": self.percentile(50) if self.count else None,
+            "p95": self.percentile(95) if self.count else None,
+        }
+
+
+class Telemetry:
+    """The per-environment metrics registry (the ``env.telemetry`` hook).
+
+    Install with ``Telemetry(env).install()``; metric objects are created
+    lazily by name on first use and are stable thereafter::
+
+        t = Telemetry(env).install()
+        ... run ...
+        snap = t.snapshot()
+    """
+
+    def __init__(self, env: "Environment", *, series: bool = True,
+                 max_points: int = 1024, window: int = 1024,
+                 sample_interval: Optional[float] = None) -> None:
+        self.env = env
+        self.enabled = True
+        self.record_series = series
+        self.max_points = max_points
+        self.window = window
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        #: Sampling cadence of the (opt-in) periodic gauge sampler.  When
+        #: set, the registry arms a daemon timer — which consumes kernel
+        #: event ids and therefore perturbs the deterministic event
+        #: interleaving.  Leave unset for byte-identical runs.
+        self.sample_interval = sample_interval
+        self._sample_timer: Optional[Any] = None
+        if sample_interval is not None:
+            self.start_sampling(sample_interval)
+
+    # -- installation ----------------------------------------------------
+    def install(self) -> "Telemetry":
+        """Attach this registry to its environment's hook point."""
+        self.env.telemetry = self
+        return self
+
+    def uninstall(self) -> None:
+        if getattr(self.env, "telemetry", None) is self:
+            self.env.telemetry = None
+
+    # -- metric factories ------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            series = (TimeSeries(name, self.max_points)
+                      if self.record_series else None)
+            metric = self.counters[name] = Counter(name, self, series)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            series = (TimeSeries(name, self.max_points)
+                      if self.record_series else None)
+            metric = self.gauges[name] = Gauge(name, self, series)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(name, self.window)
+        return metric
+
+    # -- opt-in periodic sampling ---------------------------------------
+    def start_sampling(self, interval: float) -> None:
+        """Arm the periodic gauge sampler (NOT byte-identical safe)."""
+        if interval <= 0:
+            raise ValueError("sample_interval must be > 0")
+        self.sample_interval = interval
+        if self._sample_timer is None:
+            self._sample_timer = self.env.timer(
+                callback=self._on_sample, name="telemetry/sampler",
+                daemon=True)
+        self._sample_timer.arm(interval)
+
+    def stop_sampling(self) -> None:
+        if self._sample_timer is not None:
+            self._sample_timer.cancel()
+
+    def _on_sample(self, _timer: Any) -> None:
+        for name in sorted(self.gauges):
+            self.gauges[name].sample()
+        if self.sample_interval is not None:
+            _timer.arm(self.sample_interval)
+
+    # -- snapshots -------------------------------------------------------
+    def series(self) -> Dict[str, TimeSeries]:
+        """Every live series (counters + gauges), sorted by metric name."""
+        out: Dict[str, TimeSeries] = {}
+        for name in sorted(self.counters):
+            s = self.counters[name]._series
+            if s is not None and s.points:
+                out[name] = s
+        for name in sorted(self.gauges):
+            s = self.gauges[name]._series
+            if s is not None and s.points:
+                out[name] = s
+        return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able, deterministically ordered state of every metric."""
+        return {
+            "counters": {name: self.counters[name].value
+                         for name in sorted(self.counters)},
+            "gauges": {name: {
+                "last": self.gauges[name].value,
+                "min": self.gauges[name].minimum,
+                "max": self.gauges[name].maximum,
+                "updates": self.gauges[name].updates,
+            } for name in sorted(self.gauges)},
+            "histograms": {name: self.histograms[name].to_dict()
+                           for name in sorted(self.histograms)},
+            "series": {name: ts.to_list()
+                       for name, ts in self.series().items()},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Telemetry counters={len(self.counters)} "
+                f"gauges={len(self.gauges)} "
+                f"histograms={len(self.histograms)}>")
+
+
+# -- snapshot algebra ----------------------------------------------------
+def _empty_snapshot() -> Dict[str, Any]:
+    return {"counters": {}, "gauges": {}, "histograms": {}, "series": {}}
+
+
+def merge_snapshots(snapshots: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold snapshots (in the given order) into one aggregate snapshot.
+
+    * counters sum;
+    * gauges keep the *last* observed level plus global min/max and the
+      summed update count;
+    * histograms keep exact count/total/min/max (and the recomputed
+      mean); percentiles are not mergeable and come back as ``None``;
+    * series are concatenated in fold order (times may restart between
+      segments — each segment is one independent cell/environment).
+
+    The fold is order-dependent by design: callers pass snapshots in
+    canonical plan order, so serial, parallel, and cache-served runs
+    merge identically.
+    """
+    merged = _empty_snapshot()
+    counters: Dict[str, float] = merged["counters"]
+    gauges: Dict[str, Dict[str, Any]] = merged["gauges"]
+    histograms: Dict[str, Dict[str, Any]] = merged["histograms"]
+    series: Dict[str, List[List[float]]] = merged["series"]
+    for snap in snapshots:
+        if not snap:
+            continue
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        for name, g in snap.get("gauges", {}).items():
+            agg = gauges.get(name)
+            if agg is None:
+                gauges[name] = dict(g)
+            else:
+                agg["last"] = g["last"]
+                agg["min"] = min(agg["min"], g["min"])
+                agg["max"] = max(agg["max"], g["max"])
+                agg["updates"] += g["updates"]
+        for name, h in snap.get("histograms", {}).items():
+            agg = histograms.get(name)
+            if agg is None:
+                histograms[name] = {
+                    "count": h["count"], "total": h["total"],
+                    "mean": h["mean"], "min": h["min"], "max": h["max"],
+                    "p50": None, "p95": None,
+                }
+            else:
+                agg["count"] += h["count"]
+                agg["total"] += h["total"]
+                if h["min"] is not None:
+                    agg["min"] = (h["min"] if agg["min"] is None
+                                  else min(agg["min"], h["min"]))
+                if h["max"] is not None:
+                    agg["max"] = (h["max"] if agg["max"] is None
+                                  else max(agg["max"], h["max"]))
+                agg["mean"] = (agg["total"] / agg["count"]
+                               if agg["count"] else None)
+        for name, points in snap.get("series", {}).items():
+            series.setdefault(name, []).extend(
+                [list(p) for p in points])
+    # Deterministic key order regardless of fold interleaving.
+    merged["counters"] = {k: counters[k] for k in sorted(counters)}
+    merged["gauges"] = {k: gauges[k] for k in sorted(gauges)}
+    merged["histograms"] = {k: histograms[k] for k in sorted(histograms)}
+    merged["series"] = {k: series[k] for k in sorted(series)}
+    return merged
+
+
+@contextmanager
+def telemetry_scope(**kwargs: Any) -> Iterator[List[Telemetry]]:
+    """Auto-install a registry on every Environment built in this scope.
+
+    Yields the (initially empty) list of registries, appended in
+    environment-construction order — deterministic for a deterministic
+    build.  Used by the sharded runner so experiment cells need no
+    telemetry plumbing of their own::
+
+        with telemetry_scope() as registries:
+            payload = spec.run_cell(config, key)
+        snapshot = merge_snapshots([t.snapshot() for t in registries])
+    """
+    from ..sim.environment import Environment
+
+    created: List[Telemetry] = []
+
+    def factory(env: "Environment") -> Telemetry:
+        telemetry = Telemetry(env, **kwargs)
+        created.append(telemetry)
+        return telemetry
+
+    previous = Environment.telemetry_factory
+    Environment.telemetry_factory = factory
+    try:
+        yield created
+    finally:
+        Environment.telemetry_factory = previous
+
+
+def scope_snapshot(registries: Sequence[Telemetry]) -> Dict[str, Any]:
+    """Merge the registries collected by one :func:`telemetry_scope`."""
+    return merge_snapshots([t.snapshot() for t in registries])

@@ -340,15 +340,25 @@ class Tracer:
         return [s for stack in self._open.values() for s in stack]
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serialisable snapshot of everything the tracer holds."""
+        """JSON-serialisable snapshot of everything the tracer holds.
+
+        Counter maps are emitted in sorted key order so two identical
+        runs serialise byte-identically regardless of which layer bumped
+        a counter first (spans/events keep their chronological order).
+        """
+        def _sorted(mapping: Dict[str, Any]) -> Dict[str, Any]:
+            return {key: mapping[key] for key in sorted(mapping)}
+
         return {
             "phases": {name: agg.to_dict()
                        for name, agg in self.phase_stats().items()},
-            "counters": dict(self.counters),
-            "job_counters": {j: dict(c) for j, c in self.job_counters.items()},
-            "site_counters": {s: dict(c)
-                              for s, c in self.site_counters.items()},
-            "jobs": {j: dict(p) for j, p in self._job_phase.items()},
+            "counters": _sorted(self.counters),
+            "job_counters": {j: _sorted(c)
+                             for j, c in sorted(self.job_counters.items())},
+            "site_counters": {s: _sorted(c)
+                              for s, c in sorted(self.site_counters.items())},
+            "jobs": {j: _sorted(p)
+                     for j, p in sorted(self._job_phase.items())},
             "spans": [s.to_dict() for s in self.spans],
             "events": [e.to_dict() for e in self.events],
             "dropped_spans": self.dropped_spans,

@@ -128,7 +128,14 @@ class ResultCache:
         return record
 
     def put(self, spec: ExperimentSpec, config: Any, cell: CellKey,
-            payload: Any, elapsed: float) -> str:
+            payload: Any, elapsed: float,
+            telemetry: Optional[Dict[str, Any]] = None) -> str:
+        """Store a cell record.  ``telemetry`` (a
+        :meth:`repro.obs.Telemetry.snapshot` dict) rides along when the
+        cell was computed under a telemetry scope; the cache *key* is
+        unaffected, so telemetry-on and telemetry-off runs share entries
+        (a hit without a stored snapshot is simply re-simulated when
+        telemetry is requested)."""
         digest = cache_key(spec, config, cell)
         directory = self._experiment_dir(spec.experiment_id)
         os.makedirs(directory, exist_ok=True)
@@ -141,6 +148,8 @@ class ResultCache:
             "created": time.time(),  # simlint: disable=wallclock -- host-side cache metadata; never read back into sim state
             "payload": payload,
         }
+        if telemetry is not None:
+            record["telemetry"] = telemetry
         path = self._path(spec.experiment_id, digest)
         tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "wb") as fh:

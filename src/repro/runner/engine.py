@@ -83,13 +83,29 @@ class RunStats:
                 f"(parallel={self.parallel})")
 
 
-def _execute_cell(experiment_id: str, config: Any,
-                  key: CellKey) -> Any:
-    """Worker-side entry point (module-level: picklable by name)."""
+def _execute_cell(experiment_id: str, config: Any, key: CellKey,
+                  telemetry: bool = False) -> Any:
+    """Worker-side entry point (module-level: picklable by name).
+
+    With ``telemetry=True`` the cell runs under a
+    :func:`repro.obs.telemetry_scope`, so every environment the cell
+    builds gets a metrics registry; the merged snapshot (a plain JSON-
+    ready dict — picklable across the process pool) is returned as the
+    4th element and ``None`` otherwise.  Recording is observation-only,
+    so the payload is byte-identical either way.
+    """
     spec = get_spec(experiment_id)
     t0 = time.perf_counter()
-    payload = spec.run_cell(config, key)
-    return key, payload, time.perf_counter() - t0
+    if telemetry:
+        from ..obs import scope_snapshot, telemetry_scope
+
+        with telemetry_scope() as registries:
+            payload = spec.run_cell(config, key)
+        snapshot = scope_snapshot(registries)
+    else:
+        payload = spec.run_cell(config, key)
+        snapshot = None
+    return key, payload, time.perf_counter() - t0, snapshot
 
 
 def default_parallelism() -> int:
@@ -103,7 +119,8 @@ def run_experiment(experiment_id: str,
                    quick: bool = False,
                    parallel: int = 1,
                    cache: Union[ResultCache, str, None] = None,
-                   progress: Optional[Progress] = None) -> Any:
+                   progress: Optional[Progress] = None,
+                   telemetry: bool = False) -> Any:
     """Run one experiment through the sharded engine.
 
     Parameters
@@ -118,6 +135,13 @@ def run_experiment(experiment_id: str,
         A :class:`ResultCache`, a directory path, or None to disable.
     progress:
         Per-cell progress callback (e.g. ``print``).
+    telemetry:
+        Collect a sim-time telemetry snapshot per cell (see
+        :mod:`repro.obs.telemetry`).  Snapshots travel through the cell
+        cache; a cached cell without a stored snapshot is treated as a
+        miss so telemetry-on runs always yield complete metrics.  The
+        merged snapshot lands in ``result.data["telemetry"]`` — outside
+        the rendered output, which stays byte-identical.
     """
     spec = get_spec(experiment_id)
     if config is None:
@@ -134,25 +158,34 @@ def run_experiment(experiment_id: str,
     t_wall = time.perf_counter()
 
     # -- phase 1: cache lookups -----------------------------------------
+    snapshots: Dict[CellKey, Any] = {}
     missing: List[CellKey] = []
     for key in cells:
         record = cache.get(spec, config, key) if cache is not None else None
-        if record is not None:
+        if record is not None and (not telemetry or "telemetry" in record):
             payloads[key] = record["payload"]
+            if telemetry:
+                snapshots[key] = record["telemetry"]
             stats.cells.append(CellOutcome(key, record.get("elapsed", 0.0),
                                            cached=True))
             say(f"[{experiment_id}] {'/'.join(key)}: cached "
                 f"(first computed in {record.get('elapsed', 0.0):.2f}s)")
         else:
+            # A hit without a stored telemetry snapshot is treated as a
+            # miss when telemetry is requested: re-simulating is the only
+            # way to observe the cell (payloads stay identical).
             missing.append(key)
 
     # -- phase 2: simulate missing cells --------------------------------
     def _complete(key: CellKey, payload: Any, elapsed: float,
-                  done: int) -> None:
+                  snapshot: Any, done: int) -> None:
         payloads[key] = payload
+        if telemetry:
+            snapshots[key] = snapshot
         stats.cells.append(CellOutcome(key, elapsed, cached=False))
         if cache is not None:
-            cache.put(spec, config, key, payload, elapsed)
+            cache.put(spec, config, key, payload, elapsed,
+                      telemetry=snapshot)
         say(f"[{experiment_id}] {'/'.join(key)}: computed in "
             f"{elapsed:.2f}s ({done}/{len(cells)})")
 
@@ -162,31 +195,34 @@ def run_experiment(experiment_id: str,
             executor = ProcessPoolExecutor(
                 max_workers=min(parallel, len(missing)))
             futures = {executor.submit(_execute_cell, experiment_id,
-                                       config, key): key
+                                       config, key, telemetry): key
                        for key in missing}
             pending = set(futures)
             while pending:
                 finished, pending = wait(pending,
                                          return_when=FIRST_COMPLETED)
                 for future in finished:
-                    key, payload, elapsed = future.result()
-                    _complete(key, payload, elapsed, len(payloads))
+                    key, payload, elapsed, snapshot = future.result()
+                    _complete(key, payload, elapsed, snapshot,
+                              len(payloads))
         except (OSError, PermissionError) as exc:
             # Environments without working process pools (restricted
             # sandboxes) fall back to in-process execution.
             say(f"[{experiment_id}] process pool unavailable "
                 f"({exc}); falling back to serial execution")
             for key in [k for k in missing if k not in payloads]:
-                _, payload, elapsed = _execute_cell(experiment_id, config,
-                                                    key)
-                _complete(key, payload, elapsed, len(payloads) + 1)
+                _, payload, elapsed, snapshot = _execute_cell(
+                    experiment_id, config, key, telemetry)
+                _complete(key, payload, elapsed, snapshot,
+                          len(payloads) + 1)
         finally:
             if executor is not None:
                 executor.shutdown(wait=True)
     else:
         for key in missing:
-            _, payload, elapsed = _execute_cell(experiment_id, config, key)
-            _complete(key, payload, elapsed, len(payloads))
+            _, payload, elapsed, snapshot = _execute_cell(
+                experiment_id, config, key, telemetry)
+            _complete(key, payload, elapsed, snapshot, len(payloads))
 
     # -- phase 3: deterministic merge -----------------------------------
     ordered = {key: payloads[key] for key in cells}  # plan order, always
@@ -194,6 +230,16 @@ def run_experiment(experiment_id: str,
     result = spec.merge(config, ordered)
     stats.wall_seconds = time.perf_counter() - t_wall
     result.data["runner"] = stats
+    if telemetry:
+        from ..obs import merge_snapshots
+
+        # Plan order, never completion order: the merged snapshot of a
+        # parallel run is identical to the serial (and cache-hit) one.
+        cell_snaps = {"/".join(key): snapshots[key] for key in cells}
+        result.data["telemetry"] = {
+            "cells": cell_snaps,
+            "merged": merge_snapshots([snapshots[key] for key in cells]),
+        }
     return result
 
 

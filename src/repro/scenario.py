@@ -53,7 +53,7 @@ from .sim import Environment, RandomStreams
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .core import BrokerConfig, CrossBroker, SubmittedJob
-    from .obs import Tracer
+    from .obs import Telemetry, Tracer
 
 #: Default target site name per scenario kind.
 _DEFAULT_TARGET = {"campus": "uab", "wan": "ifca"}
@@ -90,6 +90,10 @@ class Scenario:
     publish: bool = True
     #: Install a lifecycle :class:`repro.obs.Tracer` on the environment.
     trace: bool = False
+    #: Install a sim-time metrics :class:`repro.obs.Telemetry` registry on
+    #: the environment (``env.telemetry``; queue depths, backlogs, slot
+    #: occupancy become observable with zero cost when left off).
+    telemetry: bool = False
     #: Attach the runtime lifecycle sanitizer
     #: (:mod:`repro.analysis.sanitizer`) to the environment.  ``None``
     #: defers to ``Environment.default_sanitize`` so audit scopes
@@ -132,10 +136,15 @@ class Scenario:
             from .obs import Tracer
 
             tracer = Tracer(testbed.env).install()
+        registry = None
+        if self.telemetry:
+            from .obs import Telemetry
+
+            registry = Telemetry(testbed.env).install()
         if self.publish:
             testbed.publish_all_now()
         return ScenarioHandle(scenario=self, testbed=testbed, target=target,
-                              tracer=tracer)
+                              tracer=tracer, telemetry=registry)
 
 
 @dataclass
@@ -152,6 +161,7 @@ class ScenarioHandle:
     #: Name of the distinguished target site (None for ``europe`` worlds).
     target: Optional[str]
     tracer: Optional["Tracer"] = None
+    telemetry: Optional["Telemetry"] = None
     _broker: Optional["CrossBroker"] = None
 
     # -- bundle accessors -------------------------------------------------

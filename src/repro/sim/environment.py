@@ -52,7 +52,7 @@ from __future__ import annotations
 from collections import deque
 from functools import partial
 from heapq import heappop, heappush
-from typing import Any, Deque, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Deque, Iterable, List, Optional, Tuple
 
 from .errors import EmptySchedule, SimulationError, StopSimulation
 from .events import AllOf, AnyOf, Event, NORMAL, Timeout, URGENT
@@ -77,7 +77,8 @@ class Environment:
     # ``event``/``timeout`` are *instance* slots holding partials of the
     # constructors (one Python frame cheaper per call than a method).
     __slots__ = ("_now", "_urgent", "_fifo", "_heap", "_eid", "_active_proc",
-                 "tracer", "event", "timeout", "sanitizer")
+                 "tracer", "telemetry", "event", "timeout", "sanitizer",
+                 "profiler")
 
     #: Class-level default for the ``sanitize`` flag.  Flipped by
     #: :func:`repro.analysis.sanitizer.sanitize_all` so whole scenario
@@ -85,8 +86,20 @@ class Environment:
     #: constructor.
     default_sanitize: bool = False
 
+    #: Class-level default for the ``profile`` flag (same pattern:
+    #: :class:`repro.obs.profiler.profile_scope` flips it so whole world
+    #: builds get wall-clock profiling without constructor plumbing).
+    default_profile: bool = False
+
+    #: When set (a callable ``env -> registry``), every new environment
+    #: gets ``factory(env)`` assigned to its ``telemetry`` hook.  Managed
+    #: by :func:`repro.obs.telemetry.telemetry_scope`; the kernel itself
+    #: never imports obs and never reads the registry.
+    telemetry_factory: Optional[Callable[["Environment"], Any]] = None
+
     def __init__(self, initial_time: float = 0.0, *,
-                 sanitize: Optional[bool] = None) -> None:
+                 sanitize: Optional[bool] = None,
+                 profile: Optional[bool] = None) -> None:
         self._now = float(initial_time)
         #: Zero-delay URGENT lane (see module docstring).
         self._urgent: Deque[Entry] = deque()
@@ -101,6 +114,13 @@ class Environment:
         #: counter bookkeeping when unset, so tracing has no cost — not
         #: even an allocation — unless a tracer is installed.
         self.tracer: Optional[Any] = None
+        #: Telemetry hook (see :mod:`repro.obs.telemetry`).  Same zero-cost
+        #: contract as ``tracer``: ``None`` unless a registry is installed,
+        #: and instrumented layers read it with
+        #: ``t = env.telemetry``/``if t is not None`` — never importing obs.
+        factory = Environment.telemetry_factory
+        self.telemetry: Optional[Any] = \
+            factory(self) if factory is not None else None
         #: Runtime lifecycle sanitizer (see :mod:`repro.analysis.sanitizer`).
         #: ``None`` unless ``sanitize=True`` (or the class default is
         #: flipped by an audit scope); the kernel's hot paths never touch
@@ -113,6 +133,18 @@ class Environment:
             self.sanitizer: Optional[Any] = Sanitizer(self)
         else:
             self.sanitizer = None
+        #: Kernel wall-clock profiler (see :mod:`repro.obs.profiler`).
+        #: ``None`` unless ``profile=True`` (or the class default is
+        #: flipped by :class:`~repro.obs.profiler.profile_scope`); when
+        #: set, ``run()`` takes the per-callback-timed generic loop.
+        if profile is None:
+            profile = Environment.default_profile
+        if profile:
+            from ..obs.profiler import KernelProfiler
+
+            self.profiler: Optional[Any] = KernelProfiler(self)
+        else:
+            self.profiler = None
         # PERF: partial-bound constructors instead of factory methods —
         # `env.timeout(delay, value=None)` and `env.event()` keep their
         # call signatures but cost one Python frame less per call.
@@ -290,6 +322,11 @@ class Environment:
                 return until.value
             until.callbacks.append(_stop_simulate)
 
+        if self.profiler is not None:
+            # Observation-only detour: same event order, every callback
+            # timed and attributed (see repro.obs.profiler).
+            return self._run_profiled(until)
+
         # PERF: this is the single hottest loop of the whole project — it is
         # Environment.step() inlined with the queue structures bound to
         # locals, saving a method call, several attribute loads, and the
@@ -396,6 +433,69 @@ class Environment:
             return stop.value
 
         # Queue drained without the until event firing.
+        if isinstance(until, Event) and not until.triggered:
+            raise SimulationError(
+                "No scheduled events left but 'until' event was not triggered"
+            )
+        if self.sanitizer is not None:
+            self.sanitizer.on_run_exit()
+        return None
+
+    def _run_profiled(self, until: Any) -> Any:
+        """Generic, per-callback-timed run loop (``profile=True``).
+
+        Mirrors :meth:`run` semantics exactly — same pop order, same
+        trigger-chaining/failure handling — but routes every callback
+        through a ``perf_counter`` pair so the profiler can attribute
+        real time to process/callback/timer sites.  Wall-clock readings
+        never touch simulation state.
+        """
+        prof = self.profiler
+        assert prof is not None
+        clock = prof.clock
+        site_of = prof.site_of
+        timer_site = prof.timer_site
+        record = prof.record
+        wall_start = clock()
+        try:
+            while True:
+                entry = self._pop()
+                if entry is None:
+                    break  # queue drained
+                event = entry[3]
+                if event._is_timer:
+                    # Fires, deferrals, and tombstone collection are all
+                    # kernel work — time the whole shot.
+                    t0 = clock()
+                    event._pop_shot(entry)
+                    record(timer_site(event), t0)
+                    continue
+
+                self._now = entry[0]
+                callbacks = event.callbacks
+                if callbacks is None:
+                    # Already processed (trigger-chaining) — mirrors step().
+                    continue
+                event.callbacks = None
+                for cb in callbacks:
+                    t0 = clock()
+                    try:
+                        cb(event)
+                    finally:
+                        record(site_of(cb), t0)
+
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        raise exc
+                    raise SimulationError(repr(exc))  # pragma: no cover
+        except StopSimulation as stop:
+            prof.run_wall += clock() - wall_start
+            if self.sanitizer is not None:
+                self.sanitizer.on_run_exit()
+            return stop.value
+
+        prof.run_wall += clock() - wall_start
         if isinstance(until, Event) and not until.triggered:
             raise SimulationError(
                 "No scheduled events left but 'until' event was not triggered"

@@ -126,6 +126,13 @@ class StreamBuffer:
         tr = self.env.tracer
         if tr is not None:
             tr.count(f"flush_{reason}")
+        t = self.env.telemetry
+        if t is not None:
+            t.counter(f"buffer.flushes.{reason}").inc()
+            t.counter("buffer.flushed_bytes").inc(chunk.nbytes)
+            # Outbox depth across all buffers sharing this store: chunks
+            # enqueued but not yet drained by a sender.
+            t.gauge("buffer.outbox_depth").set(len(self.outbox.items) + 1)
         self.outbox.put(chunk)
 
     def _on_timeout(self, _timer: Timer) -> None:

@@ -95,6 +95,10 @@ class ChunkSender:
                 return
             assert isinstance(chunk, StreamChunk)
             self._in_flight = True
+            t = self.env.telemetry
+            if t is not None:
+                t.gauge(f"stream.backlog_bytes.{self.mode.value}").inc(
+                    chunk.nbytes)
             try:
                 if self.mode is StreamingMode.RELIABLE:
                     assert self.spool is not None
@@ -138,6 +142,10 @@ class ChunkSender:
             if tr is not None:
                 tr.end(span)
                 tr.count("chunks_sent")
+            t = self.env.telemetry
+            if t is not None:
+                t.counter("stream.chunks_sent.fast").inc()
+                t.gauge("stream.backlog_bytes.fast").dec(chunk.nbytes)
         except NetworkError:
             # §3: "data may be lost in case of network failure".
             self.stats.dropped += 1
@@ -146,6 +154,11 @@ class ChunkSender:
                 tr.end(span, status="dropped")
                 tr.count("chunks_dropped")
                 tr.event("drop", sender=self.name, nbytes=chunk.nbytes)
+            t = self.env.telemetry
+            if t is not None:
+                t.counter("stream.chunks_dropped.fast").inc()
+                t.counter(f"stream.dropped.{self.name}").inc()
+                t.gauge("stream.backlog_bytes.fast").dec(chunk.nbytes)
 
     def _send_reliable(self) -> Generator:
         """Drain the spool head-first with retry/reconnect semantics."""
@@ -166,6 +179,10 @@ class ChunkSender:
                     tr.count("retries")
                     tr.event("retry", sender=self.name, failures=failures,
                              spool_depth=len(self.spool))
+                t = self.env.telemetry
+                if t is not None:
+                    t.counter("stream.retries.reliable").inc()
+                    t.counter(f"stream.retries.{self.name}").inc()
                 if failures >= self.costs.max_retries:
                     self._fatal(
                         f"gave up after {failures} retries "
@@ -174,6 +191,9 @@ class ChunkSender:
                 interval = self.rng.jitter(f"{self.name}/retry",
                                            self.costs.retry_interval, 0.05)
                 self.stats.reconnect_waits += interval
+                if t is not None:
+                    t.counter("stream.reconnects.reliable").inc()
+                    t.counter(f"stream.reconnects.{self.name}").inc()
                 wait = tr.begin("reconnect") if tr is not None else None
                 yield self._retry_timer.arm(interval)
                 if tr is not None:
@@ -186,6 +206,10 @@ class ChunkSender:
             if tr is not None:
                 tr.end(span)
                 tr.count("chunks_sent")
+            t = self.env.telemetry
+            if t is not None:
+                t.counter("stream.chunks_sent.reliable").inc()
+                t.gauge("stream.backlog_bytes.reliable").dec(chunk.nbytes)
         return True
 
     def _fatal(self, reason: str) -> None:
@@ -194,5 +218,8 @@ class ChunkSender:
         if tr is not None:
             tr.count("sender_fatal")
             tr.event("sender_fatal", sender=self.name, reason=reason)
+        t = self.env.telemetry
+        if t is not None:
+            t.counter("stream.sender_fatal").inc()
         if self.on_fatal is not None:
             self.on_fatal(f"{self.name}: {reason}")

@@ -1,0 +1,23 @@
+"""Fixture: direct ``repro.obs`` imports from an instrumented layer.
+
+This file lives under a ``core/`` path segment, so the layering rule
+applies.  Every import form the rule recognises appears once; none are
+executed (the fixture is only ever parsed).
+"""
+
+import repro.obs
+import repro.obs.telemetry
+from repro.obs import Telemetry
+from repro.obs.profiler import KernelProfiler
+from repro import obs
+from ..obs import Tracer
+from ..obs.telemetry import Counter
+from .. import obs as observability
+
+
+def instrument(env):
+    # The sanctioned pattern — reading the hook — is NOT a violation:
+    t = env.telemetry
+    if t is not None:
+        t.counter("layer.events").inc()
+    return t

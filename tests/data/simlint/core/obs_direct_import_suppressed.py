@@ -1,0 +1,10 @@
+"""Fixture: the same layering hazards, each carrying a suppression."""
+
+import repro.obs  # simlint: disable=obs-direct-import -- fixture: audited exception
+import repro.obs.telemetry  # simlint: disable=obs-direct-import -- fixture: audited exception
+from repro.obs import Telemetry  # simlint: disable=obs-direct-import -- fixture: audited exception
+from repro.obs.profiler import KernelProfiler  # simlint: disable=obs-direct-import -- fixture: audited exception
+from repro import obs  # simlint: disable=obs-direct-import -- fixture: audited exception
+from ..obs import Tracer  # simlint: disable=obs-direct-import -- fixture: audited exception
+from ..obs.telemetry import Counter  # simlint: disable=obs-direct-import -- fixture: audited exception
+from .. import obs as observability  # simlint: disable=obs-direct-import -- fixture: audited exception

@@ -46,10 +46,28 @@ class TestSpans:
         tr = Tracer(env)
         span = tr.begin("match", job="j1")
         tr.end(span)
+        first_end = span.end
         env.run(until=env.timeout(1.0))
         tr.end(span, status="error")  # no-op: already closed
         assert span.status == "ok"
+        assert span.end == first_end  # end time not rewritten
         assert tr.phase_stats()["match"].count == 1
+        assert tr.phase_stats()["match"].errors == 0
+
+    def test_double_end_never_double_counts_aggregates(self, env):
+        """Regression: a span ended twice (e.g. an error path that also
+        runs the normal epilogue) must contribute exactly once to the
+        phase aggregates and job breakdown."""
+        tr = Tracer(env)
+        span = tr.begin("gram_submit", job="j1", site="uab")
+        env.run(until=env.timeout(2.0))
+        returned = tr.end(span)
+        assert returned is span
+        for _ in range(3):
+            assert tr.end(span, status="error") is span
+        agg = tr.phase_stats()["gram_submit"]
+        assert agg.count == 1 and agg.errors == 0
+        assert tr.job_breakdown("j1")["gram_submit"] == pytest.approx(2.0)
 
     def test_error_status_counts_as_error(self, env):
         tr = Tracer(env)

@@ -126,6 +126,81 @@ class TestResultCache:
         assert cache.summary() == []
 
 
+class TestTelemetryDeterminism:
+    """The merged telemetry snapshot is identical across serial,
+    parallel, and cache-served executions (plan-order merge)."""
+
+    EXPERIMENT = "fig8"
+
+    def _merged(self, **kwargs):
+        result = run_experiment(self.EXPERIMENT, quick=True,
+                                telemetry=True, **kwargs)
+        return result.data["telemetry"]["merged"]
+
+    def test_serial_and_parallel_snapshots_identical(self):
+        assert self._merged(parallel=1) == self._merged(parallel=4)
+
+    def test_cache_hit_replays_identical_snapshot(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        computed = self._merged(cache=cache)
+        replayed = self._merged(cache=cache)
+        assert computed == replayed
+        # The second run really was served from the cache.
+        result = run_experiment(self.EXPERIMENT, quick=True,
+                                telemetry=True, cache=cache)
+        assert result.data["runner"].cells_computed == 0
+
+    def test_render_identical_with_and_without_telemetry(self):
+        plain = run_experiment(self.EXPERIMENT, quick=True)
+        telemetered = run_experiment(self.EXPERIMENT, quick=True,
+                                     telemetry=True)
+        assert plain.render() == telemetered.render()
+        assert "telemetry" not in plain.data
+        assert "telemetry" in telemetered.data
+
+    def test_hit_without_snapshot_is_a_miss_when_telemetry_requested(
+            self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        # Populate the cache *without* telemetry...
+        run_experiment(self.EXPERIMENT, quick=True, cache=cache)
+        # ...then request telemetry: every cell must be re-simulated so
+        # the run still yields complete metrics.
+        result = run_experiment(self.EXPERIMENT, quick=True, cache=cache,
+                                telemetry=True)
+        stats = result.data["runner"]
+        assert stats.cells_cached == 0
+        assert stats.cells_computed == stats.cells_total
+        merged = result.data["telemetry"]["merged"]
+        assert merged["counters"], "snapshot should not be empty"
+        # The re-simulated records now carry snapshots: next telemetry
+        # run is all cache hits and merges the same snapshot.
+        again = run_experiment(self.EXPERIMENT, quick=True, cache=cache,
+                               telemetry=True)
+        assert again.data["runner"].cells_computed == 0
+        assert again.data["telemetry"]["merged"] == merged
+
+    def test_telemetry_snapshot_rides_the_cell_record(self, tmp_path):
+        spec = get_spec("ablation-halflife")
+        config = spec.make_config(quick=True)
+        cell = spec.plan(config)[0]
+        cache = ResultCache(str(tmp_path))
+        snap = {"counters": {"c": 1.0}, "gauges": {},
+                "histograms": {}, "series": {}}
+        cache.put(spec, config, cell, {"x": 1}, 0.1, telemetry=snap)
+        record = cache.get(spec, config, cell)
+        assert record is not None and record["telemetry"] == snap
+        # The cache *key* is unaffected by telemetry presence.
+        cache.put(spec, config, cell, {"x": 1}, 0.1)
+        assert "telemetry" not in cache.get(spec, config, cell)
+
+    def test_cells_keyed_by_plan_order(self):
+        result = run_experiment(self.EXPERIMENT, quick=True, telemetry=True)
+        spec = get_spec(self.EXPERIMENT)
+        config = spec.make_config(quick=True)
+        expected = ["/".join(key) for key in spec.plan(config)]
+        assert list(result.data["telemetry"]["cells"]) == expected
+
+
 class TestConfigCodecs:
     def test_every_registered_config_round_trips(self):
         for name, spec in sorted(all_specs().items()):

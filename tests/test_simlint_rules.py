@@ -47,11 +47,17 @@ EXPECTED_MIN = {
     "trigger-in-init": 1,
     "bare-except": 1,
     "swallowed-error": 2,
+    "obs-direct-import": 8,
 }
 
 
 def _fixture(name: str) -> str:
-    return os.path.join(FIXTURES, name)
+    flat = os.path.join(FIXTURES, name)
+    if os.path.exists(flat):
+        return flat
+    # Path-dependent rules (layering) keep their fixtures under a subdir
+    # named after the restricted path segment, e.g. core/.
+    return os.path.join(FIXTURES, "core", name)
 
 
 def test_rule_catalog_is_complete():
@@ -60,7 +66,7 @@ def test_rule_catalog_is_complete():
     assert set(EXPECTED_MIN) == set(RULE_IDS), (
         "fixture table out of sync with the rule catalog")
     for rule in ALL_RULES:
-        assert rule.category in ("determinism", "kernel")
+        assert rule.category in ("determinism", "kernel", "layering")
         assert rule.summary
 
 
@@ -146,6 +152,29 @@ def test_kernel_files_are_exempt_from_queue_rule():
     kernel = lint_source(src, "repro/sim/events.py",
                          rules_by_id(["kernel-queue-push"]))
     assert kernel == []
+
+
+def test_obs_import_rule_is_path_dependent():
+    """obs-direct-import fires only under the instrumented layers."""
+    src = "from repro.obs import Telemetry\n"
+    for layer in ("core", "streaming", "multiprog", "grid", "net"):
+        findings = lint_source(src, f"repro/{layer}/thing.py",
+                               rules_by_id(["obs-direct-import"]))
+        assert [f.rule for f in findings] == ["obs-direct-import"], layer
+    # obs itself, experiments, runner, metrics... are free to import obs.
+    for path in ("repro/obs/perfetto.py", "repro/experiments/trace_run.py",
+                 "repro/runner/engine.py", "repro/scenario.py"):
+        assert lint_source(src, path,
+                           rules_by_id(["obs-direct-import"])) == []
+
+
+def test_obs_hook_read_is_clean():
+    """The sanctioned `t = env.telemetry` pattern never fires."""
+    src = ("def f(env):\n"
+           "    t = env.telemetry\n"
+           "    if t is not None:\n"
+           "        t.counter('x').inc()\n")
+    assert lint_source(src, "repro/core/broker.py", ALL_RULES) == []
 
 
 def test_findings_json_shape():
