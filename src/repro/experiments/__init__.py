@@ -17,6 +17,7 @@ from .common import ExperimentResult, ShapeCheck
 from .export import collect_series, export_all, export_result
 from .fairshare_saturation import SaturationConfig, run_fairshare_saturation
 from .fig8 import Fig8Config, run_fig8
+from .scale_campaign import ScaleCampaignConfig, run_scale_campaign
 from .selection_scaling import SelectionScalingConfig, run_selection_scaling
 from .streaming_overhead import StreamingConfig, run_fig6, run_fig7
 from .table1 import Table1Config, run_table1
@@ -30,6 +31,7 @@ __all__ = [
     "PerformanceLossSweepConfig",
     "RetrySweepConfig",
     "SaturationConfig",
+    "ScaleCampaignConfig",
     "SelectionScalingConfig",
     "ShapeCheck",
     "StreamingConfig",
@@ -47,6 +49,7 @@ __all__ = [
     "run_half_life_sweep",
     "run_performance_loss_sweep",
     "run_retry_sweep",
+    "run_scale_campaign",
     "run_selection_scaling",
     "run_table1",
 ]

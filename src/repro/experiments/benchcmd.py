@@ -14,6 +14,12 @@ Usage::
     repro bench                      # table on stdout
     repro bench --json BENCH.json    # machine-readable results as well
     repro bench --only event_throughput,timer_churn
+    repro bench --scale              # workload-engine lane -> BENCH_scale.json
+
+The ``--scale`` lane benchmarks the streaming workload engine instead of
+the kernel: generation throughput (jobs/sec) of a lazy campaign folded
+into bounded statistics, plus the peak-memory evidence for the O(1)
+claim (tracemalloc peak of the streamed pass and the process ru_maxrss).
 
 .. simlint: the bench workloads *deliberately* allocate raw timeouts in
    tight loops — timeout churn is the pattern being measured (and the
@@ -157,6 +163,66 @@ def time_workload(fn: Callable[[], None], rounds: int,
     }
 
 
+def _scale_bench(jobs: int, rounds: int, json_path: str) -> int:
+    """The ``--scale`` lane: throughput + peak memory of a streamed fold."""
+    import resource
+    import tracemalloc
+
+    from ..sim import RandomStreams
+    from ..workloads.scale import ScaleConfig, iter_campaign, \
+        summarize_campaign
+
+    config = ScaleConfig(jobs=jobs)
+
+    def one_pass() -> int:
+        return summarize_campaign(
+            iter_campaign(RandomStreams(2006), config)).jobs
+
+    one_pass()  # warmup (stream-name caches, import costs)
+    samples: List[float] = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        folded = one_pass()
+        samples.append(time.perf_counter() - start)
+        assert folded == jobs
+    best = min(samples)
+
+    # Memory pass, measured separately so the timing stays untraced:
+    # tracemalloc peak is the streamed pass's Python-heap high-water mark
+    # (the O(1) evidence); ru_maxrss is the whole-process ceiling.
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    one_pass()
+    _, traced_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    maxrss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+    results = {
+        "jobs": jobs,
+        "rounds": rounds,
+        "min_s": best,
+        "median_s": statistics.median(samples),
+        "jobs_per_sec": jobs / best,
+        "traced_peak_bytes": traced_peak,
+        "ru_maxrss_kb": maxrss_kb,
+    }
+    print(f"scale: {jobs:,} jobs in {best:.3f}s "
+          f"({results['jobs_per_sec']:,.0f} jobs/s), "
+          f"streamed-pass peak {traced_peak / 1e6:.1f} MB traced, "
+          f"process ru_maxrss {maxrss_kb / 1024:.0f} MB")
+    payload = {
+        "schema": "repro-bench-scale/1",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": results,
+    }
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {json_path}", file=sys.stderr)
+    return 0
+
+
 def bench_main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro bench",
@@ -171,7 +237,17 @@ def bench_main(argv: List[str]) -> int:
                              f"(from: {', '.join(WORKLOADS)})")
     parser.add_argument("--json", metavar="PATH",
                         help="also write results as JSON")
+    parser.add_argument("--scale", action="store_true",
+                        help="run the workload-engine lane instead "
+                             "(writes BENCH_scale.json)")
+    parser.add_argument("--scale-jobs", type=int, default=200_000,
+                        metavar="N",
+                        help="campaign size for --scale (default 200,000)")
     args = parser.parse_args(argv)
+
+    if args.scale:
+        return _scale_bench(args.scale_jobs, max(args.rounds // 2, 1),
+                            args.json or "BENCH_scale.json")
 
     names = list(WORKLOADS)
     if args.only:

@@ -31,6 +31,7 @@ from .telemetry import (
     Counter,
     Gauge,
     Histogram,
+    QuantileSketch,
     Telemetry,
     TimeSeries,
     merge_snapshots,
@@ -46,6 +47,7 @@ __all__ = [
     "Histogram",
     "KernelProfiler",
     "PhaseStats",
+    "QuantileSketch",
     "SiteStats",
     "Span",
     "Telemetry",

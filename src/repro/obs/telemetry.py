@@ -53,6 +53,7 @@ it to carry per-cell telemetry through its content-addressed cache.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from contextlib import contextmanager
 from typing import (TYPE_CHECKING, Any, Dict, Iterator, List, Optional,
@@ -65,12 +66,182 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "QuantileSketch",
     "Telemetry",
     "TimeSeries",
     "merge_snapshots",
     "scope_snapshot",
     "telemetry_scope",
 ]
+
+
+class QuantileSketch:
+    """An online, mergeable quantile summary with bounded memory.
+
+    Values are counted into logarithmic buckets (DDSketch-style): bucket
+    ``k`` holds values in ``(gamma**(k-1), gamma**k]`` with
+    ``gamma = (1 + alpha) / (1 - alpha)``, so any reported quantile is
+    within relative error ``alpha`` of a value whose *rank* is exact.
+    Negative values go to a mirrored store and zeros to their own count,
+    so the sketch covers the full real line.
+
+    Compared to the P²/GK family, log buckets were chosen because the
+    merge is *exact*: folding two sketches just adds bucket counts, so
+    ``merge_snapshots`` produces identical percentiles no matter how a
+    campaign was sharded — the property the runner's serial == parallel
+    == cache-served contract needs.  Everything is deterministic: no
+    randomness, no data-dependent restructuring beyond the (documented)
+    low-bucket collapse at ``max_buckets``.
+    """
+
+    __slots__ = ("alpha", "gamma", "_ln_gamma", "max_buckets", "count",
+                 "zeros", "total", "minimum", "maximum", "pos", "neg",
+                 "collapsed")
+
+    def __init__(self, alpha: float = 0.01, max_buckets: int = 4096) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        if max_buckets < 8:
+            raise ValueError("max_buckets must be >= 8")
+        self.alpha = alpha
+        self.gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._ln_gamma = math.log(self.gamma)
+        self.max_buckets = max_buckets
+        self.count = 0
+        self.zeros = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        #: bucket key -> count, for positive / negative magnitudes.
+        self.pos: Dict[int, int] = {}
+        self.neg: Dict[int, int] = {}
+        #: How many low buckets were folded upward to respect max_buckets.
+        self.collapsed = 0
+
+    def _key(self, magnitude: float) -> int:
+        return math.ceil(math.log(magnitude) / self._ln_gamma)
+
+    def _value(self, key: int) -> float:
+        # Representative of (gamma**(k-1), gamma**k]: gamma**k * (1-alpha),
+        # which is within alpha relative error of every value in the bucket.
+        return (self.gamma ** key) * (1.0 - self.alpha)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if value > 0.0:
+            key = self._key(value)
+            self.pos[key] = self.pos.get(key, 0) + 1
+        elif value < 0.0:
+            key = self._key(-value)
+            self.neg[key] = self.neg.get(key, 0) + 1
+        else:
+            self.zeros += 1
+        if len(self.pos) + len(self.neg) > self.max_buckets:
+            self._collapse()
+
+    def _collapse(self) -> None:
+        """Fold the lowest-magnitude bucket into its neighbour.
+
+        Sacrifices accuracy near zero first (where absolute error is
+        smallest), preserving the tail quantiles scale campaigns read.
+        """
+        store = self.pos if len(self.pos) >= len(self.neg) else self.neg
+        keys = sorted(store)
+        lowest = keys[0]
+        store[keys[1]] = store.get(keys[1], 0) + store.pop(lowest)
+        self.collapsed += 1
+
+    def quantile(self, q: float) -> float:
+        """The q-th percentile (``q`` in [0, 100]); NaN when empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        if self.count == 0:
+            return float("nan")
+        if q == 0.0:
+            return self.minimum
+        if q == 100.0:
+            return self.maximum
+        target = max(1, math.ceil(self.count * (q / 100.0)))
+        cumulative = 0
+        # Ascending value order: most-negative first (descending magnitude
+        # keys in the mirrored store), then zeros, then positives.
+        for key in sorted(self.neg, reverse=True):
+            cumulative += self.neg[key]
+            if cumulative >= target:
+                return self._clamp(-self._value(key))
+        cumulative += self.zeros
+        if cumulative >= target:
+            return 0.0
+        for key in sorted(self.pos):
+            cumulative += self.pos[key]
+            if cumulative >= target:
+                return self._clamp(self._value(key))
+        return self.maximum  # pragma: no cover - fp-rounding fallback
+
+    def _clamp(self, value: float) -> float:
+        return min(max(value, self.minimum), self.maximum)
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into this sketch (exact: bucket counts add)."""
+        if other.alpha != self.alpha:
+            raise ValueError(
+                f"cannot merge sketches with different alpha "
+                f"({self.alpha} vs {other.alpha})")
+        self.count += other.count
+        self.zeros += other.zeros
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        for key, n in other.pos.items():
+            self.pos[key] = self.pos.get(key, 0) + n
+        for key, n in other.neg.items():
+            self.neg[key] = self.neg.get(key, 0) + n
+        self.collapsed += other.collapsed
+        while len(self.pos) + len(self.neg) > self.max_buckets:
+            self._collapse()
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able state (string bucket keys, sorted numerically)."""
+        return {
+            "alpha": self.alpha,
+            "count": self.count,
+            "zeros": self.zeros,
+            "total": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "collapsed": self.collapsed,
+            "pos": {str(k): self.pos[k] for k in sorted(self.pos)},
+            "neg": {str(k): self.neg[k] for k in sorted(self.neg)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any],
+                  max_buckets: int = 4096) -> "QuantileSketch":
+        sketch = cls(alpha=float(data["alpha"]), max_buckets=max_buckets)
+        sketch.count = int(data["count"])
+        sketch.zeros = int(data["zeros"])
+        sketch.total = float(data["total"])
+        sketch.minimum = (float(data["min"]) if data.get("min") is not None
+                          else float("inf"))
+        sketch.maximum = (float(data["max"]) if data.get("max") is not None
+                          else float("-inf"))
+        sketch.collapsed = int(data.get("collapsed", 0))
+        sketch.pos = {int(k): int(n) for k, n in data.get("pos", {}).items()}
+        sketch.neg = {int(k): int(n) for k, n in data.get("neg", {}).items()}
+        return sketch
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<QuantileSketch n={self.count} alpha={self.alpha} "
+                f"buckets={len(self.pos) + len(self.neg)}>")
 
 
 class TimeSeries:
@@ -171,18 +342,28 @@ class Gauge:
 
 
 class Histogram:
-    """Exact aggregates of observed values plus a bounded percentile
-    window (same retention model as :class:`~repro.obs.tracer.PhaseStats`)."""
+    """Exact aggregates of observed values plus bounded percentile state.
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum", "_window")
+    Percentiles are *exact* (interpolated over the retained window) while
+    every observation still fits in the window, and come from the
+    :class:`QuantileSketch` once the stream outgrows it — so a
+    million-job campaign reports tail latencies with bounded memory and
+    a guaranteed relative-error bound instead of window-truncated ones.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "_window",
+                 "_sketch")
 
     def __init__(self, name: str, window: int = 1024) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
         self.minimum = float("inf")
-        self.maximum = 0.0
+        # -inf, not 0.0: an all-negative stream must report its true
+        # (negative) maximum, not a phantom 0.0 (to_dict guards on count).
+        self.maximum = float("-inf")
         self._window: deque = deque(maxlen=window)
+        self._sketch = QuantileSketch()
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -192,14 +373,24 @@ class Histogram:
         if value > self.maximum:
             self.maximum = value
         self._window.append(value)
+        self._sketch.observe(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else float("nan")
 
+    @property
+    def sketch(self) -> QuantileSketch:
+        """The mergeable quantile summary of *every* observation."""
+        return self._sketch
+
     def percentile(self, q: float) -> float:
         if not self._window:
             return float("nan")
+        if self.count > len(self._window):
+            # The window no longer holds the full stream: answer from the
+            # sketch, which has seen every observation.
+            return self._sketch.quantile(q)
         ordered = sorted(self._window)
         idx = (len(ordered) - 1) * (q / 100.0)
         lo = int(idx)
@@ -216,6 +407,7 @@ class Histogram:
             "max": self.maximum if self.count else None,
             "p50": self.percentile(50) if self.count else None,
             "p95": self.percentile(95) if self.count else None,
+            "sketch": self._sketch.to_dict() if self.count else None,
         }
 
 
@@ -354,7 +546,10 @@ def merge_snapshots(snapshots: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
     * gauges keep the *last* observed level plus global min/max and the
       summed update count;
     * histograms keep exact count/total/min/max (and the recomputed
-      mean); percentiles are not mergeable and come back as ``None``;
+      mean); their :class:`QuantileSketch` states merge *exactly*
+      (bucket counts add), so merged ``p50``/``p95`` are real values —
+      they only come back as ``None`` when a legacy snapshot in the fold
+      carries no sketch state;
     * series are concatenated in fold order (times may restart between
       segments — each segment is one independent cell/environment).
 
@@ -367,6 +562,9 @@ def merge_snapshots(snapshots: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
     gauges: Dict[str, Dict[str, Any]] = merged["gauges"]
     histograms: Dict[str, Dict[str, Any]] = merged["histograms"]
     series: Dict[str, List[List[float]]] = merged["series"]
+    #: name -> merged sketch, or None once any contributing snapshot
+    #: lacked sketch state (legacy) — those keep ``None`` percentiles.
+    sketches: Dict[str, Optional[QuantileSketch]] = {}
     for snap in snapshots:
         if not snap:
             continue
@@ -389,6 +587,10 @@ def merge_snapshots(snapshots: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
                     "mean": h["mean"], "min": h["min"], "max": h["max"],
                     "p50": None, "p95": None,
                 }
+                if h["count"] and h.get("sketch") is not None:
+                    sketches[name] = QuantileSketch.from_dict(h["sketch"])
+                elif h["count"]:
+                    sketches[name] = None  # legacy snapshot: no sketch
             else:
                 agg["count"] += h["count"]
                 agg["total"] += h["total"]
@@ -400,9 +602,24 @@ def merge_snapshots(snapshots: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
                                   else max(agg["max"], h["max"]))
                 agg["mean"] = (agg["total"] / agg["count"]
                                if agg["count"] else None)
+                if h["count"]:
+                    sketch = sketches.get(name)
+                    if h.get("sketch") is None:
+                        sketches[name] = None  # poisoned: stay mergeable-not
+                    elif name not in sketches:
+                        sketches[name] = QuantileSketch.from_dict(h["sketch"])
+                    elif sketch is not None:
+                        sketch.merge(QuantileSketch.from_dict(h["sketch"]))
         for name, points in snap.get("series", {}).items():
             series.setdefault(name, []).extend(
                 [list(p) for p in points])
+    # Quantiles of the merged stream, from the exactly-merged sketches.
+    for name, sketch in sketches.items():
+        if sketch is not None and sketch.count:
+            agg = histograms[name]
+            agg["p50"] = sketch.quantile(50)
+            agg["p95"] = sketch.quantile(95)
+            agg["sketch"] = sketch.to_dict()
     # Deterministic key order regardless of fold interleaving.
     merged["counters"] = {k: counters[k] for k in sorted(counters)}
     merged["gauges"] = {k: gauges[k] for k in sorted(gauges)}

@@ -150,7 +150,10 @@ class PhaseStats:
         self.count = 0
         self.total = 0.0
         self.minimum = float("inf")
-        self.maximum = 0.0
+        # -inf mirrors ``minimum``: an all-negative stream (clock skew,
+        # corrected timestamps) must not report a phantom max of 0.0.
+        # ``to_dict`` guards both behind ``count``.
+        self.maximum = float("-inf")
         self.errors = 0
         self._window: deque = deque(maxlen=window)
 

@@ -8,8 +8,9 @@ penalties, agent reuse) are reproducible.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 from ..jdl import JobDescription, JobCategory, JobFlavor, MachineAccess, StreamingMode
 from ..sim import RandomStreams
@@ -44,42 +45,38 @@ class MixConfig:
     max_nodes: int = 4
 
 
-def generate_mix(rng: RandomStreams, config: Optional[MixConfig] = None,
-                 stream: str = "mix") -> List[JobArrival]:
-    """Deterministically generate a job mix, sorted by arrival time."""
-    config = config or MixConfig()
-    arrivals: List[JobArrival] = []
-
-    def draw_user(tag: str, i: int) -> str:
-        return rng.choice(f"{stream}/{tag}/user/{i}", list(config.users))
-
-    # Batch stream.
+def _iter_batch(rng: RandomStreams, config: MixConfig,
+                stream: str) -> Iterator[JobArrival]:
+    """The lazy batch-job arrival stream (time-ordered)."""
     t, i = 0.0, 0
     while True:
         t += rng.exponential(f"{stream}/batch/gap", config.batch_interarrival)
         if t >= config.horizon:
-            break
+            return
         runtime = max(rng.exponential(f"{stream}/batch/run",
                                       config.batch_runtime_mean), 60.0)
         job = JobDescription(
             executable="batch_sim",
-            owner=draw_user("batch", i),
+            owner=rng.choice(f"{stream}/batch/user/{i}", list(config.users)),
             category=JobCategory.BATCH,
             estimated_runtime=runtime,
             # Deterministic id: job ids key RNG streams downstream, so the
             # same mix must replay identically run after run.
             job_id=f"{stream}-batch-{i:05d}",
         )
-        arrivals.append(JobArrival(t, job, runtime))
+        yield JobArrival(t, job, runtime)
         i += 1
 
-    # Interactive stream.
+
+def _iter_interactive(rng: RandomStreams, config: MixConfig,
+                      stream: str) -> Iterator[JobArrival]:
+    """The lazy interactive-session arrival stream (time-ordered)."""
     t, i = 0.0, 0
     while True:
         t += rng.exponential(f"{stream}/int/gap",
                              config.interactive_interarrival)
         if t >= config.horizon:
-            break
+            return
         runtime = max(rng.exponential(f"{stream}/int/run",
                                       config.interactive_runtime_mean), 10.0)
         shared = rng.uniform(f"{stream}/int/shared/{i}", 0, 1) \
@@ -96,7 +93,7 @@ def generate_mix(rng: RandomStreams, config: Optional[MixConfig] = None,
                         list(config.performance_losses)) if shared else 0
         job = JobDescription(
             executable="interactive_sim",
-            owner=draw_user("int", i),
+            owner=rng.choice(f"{stream}/int/user/{i}", list(config.users)),
             category=JobCategory.INTERACTIVE,
             flavor=flavor,
             node_number=nodes,
@@ -107,24 +104,48 @@ def generate_mix(rng: RandomStreams, config: Optional[MixConfig] = None,
             estimated_runtime=runtime,
             job_id=f"{stream}-int-{i:05d}",
         )
-        arrivals.append(JobArrival(t, job, runtime))
+        yield JobArrival(t, job, runtime)
         i += 1
 
-    arrivals.sort(key=lambda a: a.at)
-    return arrivals
 
+def iter_mix(rng: RandomStreams, config: Optional[MixConfig] = None,
+             stream: str = "mix") -> Iterator[JobArrival]:
+    """Lazily generate the job mix in arrival-time order.
 
-def replay(env, broker, arrivals: List[JobArrival], behavior_for,
-           ui_host: str = "ui"):
-    """Submit a generated mix against a broker as a simulation process.
-
-    ``behavior_for(arrival, rank) -> Behavior`` builds each job's payload.
-    Returns the list of SubmittedJob records.
+    Identical arrivals to :func:`generate_mix` (every draw comes from
+    the same named substream, and named substreams are independent of
+    draw interleaving), but the mix never materialises: the two class
+    streams are merged on the fly, so memory stays O(1) in the horizon.
+    Ties keep batch-before-interactive order, matching the stable sort
+    :func:`generate_mix` historically applied.
     """
-    submitted = []
+    config = config or MixConfig()
+    return heapq.merge(_iter_batch(rng, config, stream),
+                       _iter_interactive(rng, config, stream),
+                       key=lambda a: a.at)
+
+
+def generate_mix(rng: RandomStreams, config: Optional[MixConfig] = None,
+                 stream: str = "mix") -> List[JobArrival]:
+    """Deterministically generate a job mix, sorted by arrival time."""
+    return list(iter_mix(rng, config, stream))
+
+
+def replay_stream(env, broker, arrivals: Iterable[JobArrival], behavior_for,
+                  ui_host: str = "ui", on_submit=None):
+    """Submit an arrival stream against a broker without retaining it.
+
+    The streaming twin of :func:`replay`: ``arrivals`` may be any
+    iterable (a list, :func:`iter_mix`, :func:`iter_trace`, or a scale
+    campaign generator) and is consumed one arrival at a time.  Each
+    submission record is handed to ``on_submit(record, arrival)`` (when
+    given) and then dropped, so a million-job replay holds O(1) arrival
+    state.  Returns the feeder process; its value is the submit count.
+    """
 
     def feeder():
         t_prev = 0.0
+        submitted = 0
         # Re-armable pacing timer for the whole arrival sequence.
         pace = env.timer(name="mix/feeder/pace")
         for arrival in arrivals:
@@ -136,8 +157,24 @@ def replay(env, broker, arrivals: List[JobArrival], behavior_for,
                 lambda rank, a=arrival: behavior_for(a, rank),
                 ui_host=ui_host,
                 attach_console=arrival.job.is_interactive)
-            submitted.append(record)
+            submitted += 1
+            if on_submit is not None:
+                on_submit(record, arrival)
         return submitted
 
-    proc = env.process(feeder(), name="mix/feeder")
+    return env.process(feeder(), name="mix/feeder")
+
+
+def replay(env, broker, arrivals: Iterable[JobArrival], behavior_for,
+           ui_host: str = "ui"):
+    """Submit a generated mix against a broker as a simulation process.
+
+    ``behavior_for(arrival, rank) -> Behavior`` builds each job's payload.
+    Returns the list of SubmittedJob records (grown as the feeder runs;
+    for unbounded streams use :func:`replay_stream` instead).
+    """
+    submitted = []
+    proc = replay_stream(env, broker, arrivals, behavior_for,
+                         ui_host=ui_host,
+                         on_submit=lambda record, _a: submitted.append(record))
     return submitted, proc

@@ -66,6 +66,40 @@ class TestRegistry:
         assert h["count"] == 2 and h["mean"] == 2.0
         assert h["min"] == 1.0 and h["max"] == 3.0
 
+    def test_histogram_max_correct_for_all_negative_streams(self, env):
+        """Regression: max initialised to 0.0 reported a phantom maximum
+        of 0.0 for streams that never observed a non-negative value."""
+        t = Telemetry(env)
+        h = t.histogram("drift")
+        h.observe(-5.0)
+        h.observe(-2.0)
+        snap = t.snapshot()["histograms"]["drift"]
+        assert snap["max"] == -2.0
+        assert snap["min"] == -5.0
+
+    def test_empty_histogram_reports_no_extrema(self, env):
+        t = Telemetry(env)
+        t.histogram("unused")
+        snap = t.snapshot()["histograms"]["unused"]
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_histogram_percentiles_stay_exact_within_window(self, env):
+        t = Telemetry(env)
+        h = t.histogram("w")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(50) == pytest.approx(50.5)
+
+    def test_histogram_percentiles_use_sketch_past_the_window(self, env):
+        t = Telemetry(env)
+        h = t.histogram("big")
+        for v in range(1, 10_001):
+            h.observe(float(v))
+        # The bounded window saw only a suffix; the sketch saw everything.
+        assert h.percentile(50) == pytest.approx(5000.0, rel=0.02)
+        assert h.percentile(99) == pytest.approx(9900.0, rel=0.02)
+
     def test_metrics_are_stable_by_name(self, env):
         t = Telemetry(env)
         assert t.counter("a") is t.counter("a")
@@ -144,7 +178,19 @@ class TestMergeSnapshots:
         assert g["last"] == 5.0 and g["max"] == 5.0 and g["updates"] == 2
         h = merged["histograms"]["h"]
         assert h["count"] == 2 and h["total"] == 6.0 and h["mean"] == 3.0
-        assert h["p50"] is None  # percentiles are not mergeable
+        # Sketches merge exactly, so percentiles survive the fold: the
+        # merged p95 must sit near the larger observation.
+        assert h["p50"] == pytest.approx(1.0, rel=0.02)
+        assert h["p95"] == pytest.approx(5.0, rel=0.02)
+
+    def test_legacy_snapshots_without_sketch_state_keep_none(self):
+        a, b = self._snap(1.0), self._snap(5.0)
+        del a["histograms"]["h"]["sketch"]  # pre-sketch snapshot shape
+        merged = merge_snapshots([a, b])
+        h = merged["histograms"]["h"]
+        assert h["count"] == 2
+        assert h["p50"] is None and h["p95"] is None
+        assert "sketch" not in h
 
     def test_series_concatenate_in_fold_order(self):
         merged = merge_snapshots([self._snap(1.0), self._snap(2.0)])

@@ -122,6 +122,20 @@ class TestCountersAndEvents:
         assert len(tr.events) == 4
         assert [e.data["i"] for e in tr.events] == [2, 3, 4, 5]
 
+    def test_phase_stats_max_correct_for_all_negative_values(self):
+        """Regression: max initialised to 0.0 reported a phantom maximum
+        for phases whose elapsed values were all negative (clock skew)."""
+        stats = PhaseStats("skew", window=16)
+        stats.add(-5.0, ok=True)
+        stats.add(-2.0, ok=True)
+        assert stats.maximum == -2.0
+        assert stats.to_dict()["max"] == -2.0
+
+    def test_phase_stats_empty_reports_no_extrema(self):
+        payload = PhaseStats("idle", window=16).to_dict()
+        assert payload["count"] == 0
+        assert payload["min"] is None and payload["max"] is None
+
     def test_phase_stats_percentiles(self):
         stats = PhaseStats("x", window=100)
         for v in range(1, 101):
