@@ -4,8 +4,10 @@ Environment* (Fernández, Heymann, Senar — IEEE CLUSTER 2006).
 The package rebuilds the CrossGrid/CrossBroker interactive-job stack on a
 deterministic discrete-event substrate:
 
-* :mod:`repro.core` — the CrossBroker: two-stage resource selection,
-  fair-share priorities, glide-in multiprogramming, on-line scheduling;
+* :mod:`repro.core` — the brokers behind one ``BrokerProtocol``: the
+  paper's push-model CrossBroker (two-stage resource selection,
+  fair-share priorities, glide-in multiprogramming, on-line scheduling),
+  an AliEn-style pull broker, and a Gridbus-style data-aware broker;
 * :mod:`repro.streaming` — split-execution I/O streaming (Console Agent /
   Console Shadow, fast and reliable modes);
 * :mod:`repro.multiprog` — glide-in agents and lightweight VM slots;
@@ -20,18 +22,20 @@ deterministic discrete-event substrate:
 
 Quickstart
 ----------
->>> from repro.grid import campus_grid
->>> from repro.core import CrossBroker
+>>> from repro import Scenario
 >>> from repro.jdl import JobDescription
 >>> from repro.workloads import immediate_output_app
->>> tb = campus_grid(seed=1); tb.publish_all_now()
->>> broker = CrossBroker(tb.env, tb.network, tb.rng, tb.calibration)
+>>> handle = Scenario(sites=1, scenario="campus", seed=1).build()
 >>> job = JobDescription.from_jdl(
 ...     'Executable="app"; JobType={"interactive","sequential"};')
->>> submitted = broker.submit(job, lambda rank: immediate_output_app())
->>> _ = tb.env.run(until=submitted.finished)
+>>> submitted = handle.submit(job, lambda rank: immediate_output_app())
+>>> _ = handle.run(until=submitted.finished)
 >>> submitted.report.success
 True
+
+Swap ``Scenario(..., broker_mode="pull")`` (or ``"data"``) to run the
+same submission through the AliEn-style task queue or the Gridbus-style
+data-aware ranking — the handle's ``broker`` keeps the same protocol.
 """
 
 from .calibration import Calibration, DEFAULT_CALIBRATION

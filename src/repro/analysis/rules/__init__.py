@@ -27,7 +27,7 @@ from .kernel import (
     SwallowedErrorRule,
     TriggerInInitRule,
 )
-from .layering import ObsDirectImportRule
+from .layering import BrokerConstructionRule, ObsDirectImportRule
 
 __all__ = ["ALL_RULES", "rules_by_id"]
 
@@ -44,6 +44,7 @@ ALL_RULES: List[Rule] = [
     BareExceptRule(),
     SwallowedErrorRule(),
     ObsDirectImportRule(),
+    BrokerConstructionRule(),
 ]
 
 

@@ -23,7 +23,7 @@ from typing import Tuple, Type
 
 from ..engine import LintContext, Rule
 
-__all__ = ["ObsDirectImportRule"]
+__all__ = ["BrokerConstructionRule", "ObsDirectImportRule"]
 
 
 class ObsDirectImportRule(Rule):
@@ -83,3 +83,50 @@ class ObsDirectImportRule(Rule):
             elif not module and any(a.name == "obs" for a in node.names):
                 dots = "." * node.level
                 self._report(node, ctx, f"from {dots} import obs")
+
+
+class BrokerConstructionRule(Rule):
+    """A broker class constructed directly from experiment/example code.
+
+    The three broker implementations share one protocol surface but have
+    mode-specific wiring obligations (the pull broker needs a site agent
+    per site, the data-aware broker a replica catalog).  Experiment and
+    example code must therefore construct brokers through
+    :func:`repro.core.make_broker` (or ``Scenario(broker_mode=...)``)
+    which performs that wiring and validates the mode/config pairing;
+    ``CrossBroker(...)`` called directly bypasses both and silently pins
+    the cell to push-mode semantics.
+    """
+
+    id = "broker-factory"
+    category = "layering"
+    summary = ("experiments/examples must build brokers via make_broker "
+               "or Scenario(broker_mode=...), never by calling a broker "
+               "class directly")
+    node_types: Tuple[Type[ast.AST], ...] = (ast.Call,)
+
+    #: Path segments marking driver-level code (not the core layer, which
+    #: legitimately instantiates its own classes, e.g. in make_broker).
+    _RESTRICTED = ("experiments", "examples")
+    _BROKER_CLASSES = frozenset(
+        {"CrossBroker", "PullBroker", "DataAwareBroker"})
+
+    def applies_to(self, relpath: str) -> bool:
+        parts = relpath.replace(os.sep, "/").split("/")
+        return any(segment in parts for segment in self._RESTRICTED)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        else:
+            return
+        if name in self._BROKER_CLASSES:
+            ctx.report(self, node,
+                       f"{name}(...) constructed directly — use "
+                       f"make_broker(..., mode=...) or "
+                       f"Scenario(broker_mode=...) so mode wiring and "
+                       f"config validation run")

@@ -1,6 +1,16 @@
-"""CrossBroker core: scheduling, matchmaking, fair-share, multiprogramming."""
+"""Broker core: scheduling, matchmaking, fair-share, multiprogramming.
 
-from .broker import BrokerConfig, CrossBroker, SubmittedJob
+Three broker modes share one :class:`BrokerProtocol` surface — build
+them through :func:`make_broker` (or ``Scenario(broker_mode=...)``):
+
+* ``push`` — :class:`CrossBroker`, the paper's scheduler;
+* ``pull`` — :class:`PullBroker`, AliEn-style central task queue;
+* ``data`` — :class:`DataAwareBroker`, Gridbus-style locality ranking.
+"""
+
+from .base import BehaviorFactory, BrokerBase, BrokerConfig, SubmittedJob
+from .broker import CrossBroker
+from .data import DataAwareBroker, DataBrokerConfig
 from .fairshare import (
     FairShareAccounting,
     UserAccount,
@@ -11,23 +21,37 @@ from .fairshare import (
 )
 from .leases import Lease, LeaseTable
 from .matchmaker import Candidate, Matchmaker
+from .protocol import BROKER_MODES, BrokerProtocol, make_broker
+from .pull import PullBroker, PullBrokerConfig
+from .replicas import Replica, ReplicaCatalog
 from .reports import SubmissionPath, SubmissionReport
 from .selection import ResourceSelector, SelectionOutcome
 from .status import AgentStatus, BrokerSnapshot, JobStatus, job_stage, snapshot
 
 __all__ = [
+    "BROKER_MODES",
+    "BehaviorFactory",
+    "BrokerBase",
     "BrokerConfig",
+    "BrokerProtocol",
     "Candidate",
     "CrossBroker",
+    "DataAwareBroker",
+    "DataBrokerConfig",
     "FairShareAccounting",
     "Lease",
     "LeaseTable",
     "Matchmaker",
+    "PullBroker",
+    "PullBrokerConfig",
+    "Replica",
+    "ReplicaCatalog",
     "ResourceSelector",
     "SelectionOutcome",
     "SubmissionPath",
     "SubmissionReport",
     "SubmittedJob",
+    "make_broker",
     "AgentStatus",
     "BrokerSnapshot",
     "JobStatus",

@@ -1,5 +1,5 @@
-"""CrossBroker: the resource-management service for batch *and* interactive
-jobs (the paper's primary contribution).
+"""CrossBroker: the push-model resource-management service for batch *and*
+interactive jobs (the paper's primary contribution).
 
 Submission paths (Figure 5):
 
@@ -17,107 +17,39 @@ Plus the §3 mechanisms: on-line scheduling (resubmit if the job sits in a
 remote queue), exclusive temporal leases at match time, randomized
 selection among rank ties, fair-share admission (§5.1), and a broker-side
 queue for batch jobs when the whole grid is full.
+
+The mode-independent machinery (submission records, the GRAM path,
+fair-share charging, output retrieval) lives in
+:class:`~repro.core.base.BrokerBase`; this module adds the *push*
+placement logic.  Sibling modes: :class:`~repro.core.pull.PullBroker`
+and :class:`~repro.core.data.DataAwareBroker`; construct any of them
+through :func:`repro.core.make_broker`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, List, Optional, Tuple
+from typing import ClassVar, Dict, Generator, List, Optional, Tuple
 
-from ..calibration import Calibration
 from ..grid.errors import NoResourcesError, SubmissionError
 from ..grid.gram import GramClient
 from ..grid.mpi import plan_allocation, subjobs_for
-from ..grid.staging import retrieve_output, stage_input
-from ..grid.testbed import BROKER_HOST, MDS_HOST
-from ..jdl import JobDescription, MachineAccess, StreamingMode
-from ..multiprog import AGENT_PORT, AgentRecord, AgentRegistry, AgentRuntime
-from ..net import Network, NetworkError, RpcClient, RpcError
-from ..sim import Environment, Event, EventTrace, Process, RandomStreams
-from ..streaming import InteractiveSession
-from .fairshare import (
-    FairShareAccounting,
-    af_batch,
-    af_displaced_batch,
-    af_interactive,
-)
-from .leases import LeaseTable
-from .reports import SubmissionPath, SubmissionReport
-from .selection import ResourceSelector
+from ..multiprog import AGENT_PORT, AgentRecord, AgentRuntime
+from ..net import NetworkError, RpcClient, RpcError
+from ..sim import Event
+from .base import BehaviorFactory, BrokerBase, BrokerConfig, SubmittedJob
+from .fairshare import af_batch, af_displaced_batch
+from .reports import SubmissionPath
 
-#: behavior_factory(rank) -> Behavior
-BehaviorFactory = Callable[[int], Callable]
+__all__ = ["BrokerConfig", "CrossBroker", "SubmittedJob", "BehaviorFactory"]
 
 
-@dataclass
-class BrokerConfig:
-    """Tunables of the broker's §3 mechanisms."""
+class CrossBroker(BrokerBase):
+    """The push-model broker service, bound to its host on the network."""
 
-    #: Exclusive temporal access: how long a match reserves the resource.
-    lease_duration: float = 30.0
-    #: On-line scheduling: if an interactive job has not *started* on the
-    #: remote site within this bound, cancel and resubmit elsewhere.
-    queued_resubmit_timeout: float = 45.0
-    max_resubmissions: int = 3
-    #: Poll period for batch jobs parked in the broker queue.
-    queue_poll_interval: float = 30.0
-    #: Local registry lookup cost for shared-VM jobs (combined
-    #: discovery+selection step of Table I, "kept locally by CrossBroker").
-    registry_lookup_cost: float = 0.05
-    index_host: str = MDS_HOST
-    #: Interactive VM slots per planted agent (§5.2 future-work knob).
-    interactive_slots_per_agent: int = 1
-    #: §7 future work: "control of the degree of multiprogramming, so as
-    #: to dynamically adapt this".  When on, each shared-VM miss within
-    #: the adaptation window raises the slot count of the next planted
-    #: agent (up to the cap).
-    adaptive_multiprogramming: bool = False
-    adaptive_window: float = 300.0
-    max_interactive_slots: int = 4
-    #: Fair-share scarcity threshold: a submission is "scarce" when it
-    #: would take some of the last free CPUs (free <= need x this).
-    scarcity_factor: float = 1.0
+    mode: ClassVar[str] = "push"
 
-
-@dataclass
-class SubmittedJob:
-    """Broker-side record returned to the submitting user."""
-
-    job: JobDescription
-    report: SubmissionReport
-    #: Fires when every subjob has started on its node.
-    started: Event = None  # type: ignore[assignment]
-    #: Fires with the list of subjob results (or fails).
-    finished: Event = None  # type: ignore[assignment]
-    session: Optional[InteractiveSession] = None
-    process: Optional[Process] = None
-
-    def wait(self) -> Generator:
-        result = yield self.finished
-        return result
-
-
-class CrossBroker:
-    """The broker service, bound to its host on the simulated network."""
-
-    def __init__(self, env: Environment, network: Network, rng: RandomStreams,
-                 calibration: Calibration, broker_host: str = BROKER_HOST,
-                 config: Optional[BrokerConfig] = None) -> None:
-        self.env = env
-        self.network = network
-        self.rng = rng
-        self.calibration = calibration
-        self.costs = calibration.middleware
-        self.broker_host = broker_host
-        self.config = config or BrokerConfig()
-        self.selector = ResourceSelector(env, network, rng, self.costs,
-                                         broker_host,
-                                         index_host=self.config.index_host)
-        self.leases = LeaseTable(env, self.config.lease_duration)
-        self.fairshare = FairShareAccounting(env, calibration.fairshare,
-                                             total_cpus=1)
-        self.agents = AgentRegistry(env)
-        self.trace = EventTrace()
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
         #: agent_id -> (owner, job_id, cpus) of the batch job on its batch-vm.
         self._agent_batch: Dict[str, Tuple[str, str, int]] = {}
         #: Exclusive temporal access for interactive VMs: agent_id -> lease
@@ -127,109 +59,20 @@ class CrossBroker:
         #: Timestamps of recent shared-VM misses (drives the adaptive
         #: degree of multiprogramming).
         self._vm_miss_times: List[float] = []
-        self.reports: List[SubmissionReport] = []
         self._queued_batch: List[SubmittedJob] = []
-
-    # ------------------------------------------------------------------
-    # Public API
-    # ------------------------------------------------------------------
-    def submit(self, job: JobDescription, behavior_factory: BehaviorFactory,
-               ui_host: str = "ui",
-               attach_console: Optional[bool] = None,
-               daemon: bool = False) -> SubmittedJob:
-        """Submit a job; returns immediately with the tracking record.
-
-        ``attach_console`` defaults to True for interactive jobs; pass True
-        for a batch job to capture its first output through the streaming
-        layer (as the Table I measurement harness does).
-
-        ``daemon=True`` declares a background-by-design job (a glide-in
-        seed, a blocking load generator) that is *expected* to outlive
-        the run: the submission chain it spawns inherits the flag and
-        the lifecycle sanitizer exempts it.
-        """
-        report = SubmissionReport(job_id=job.job_id, owner=job.owner,
-                                  submitted_at=self.env.now)
-        console = job.is_interactive if attach_console is None else attach_console
-        session = None
-        if console:
-            session = InteractiveSession(
-                self.env, self.network, self.rng,
-                self.calibration.streaming, ui_host, job.streaming_mode,
-                n_subjobs=job.console_agents, port=job.shadow_port)
-        submitted = SubmittedJob(job=job, report=report,
-                                 started=self.env.event(),
-                                 finished=self.env.event(),
-                                 session=session)
-        submitted.process = self.env.process(
-            self._run(submitted, behavior_factory),
-            name=f"broker/{job.job_id}", daemon=daemon)
-        self.reports.append(report)
-        t = self.env.telemetry
-        if t is not None:
-            t.counter("broker.submits").inc()
-            kind = "interactive" if job.is_interactive else "batch"
-            t.counter(f"broker.submits.{kind}").inc()
-        return submitted
-
-    def submit_and_wait(self, job: JobDescription,
-                        behavior_factory: BehaviorFactory,
-                        ui_host: str = "ui",
-                        attach_console: Optional[bool] = None) -> Generator:
-        submitted = self.submit(job, behavior_factory, ui_host, attach_console)
-        yield submitted.finished
-        return submitted
-
-    def cancel(self, submitted: SubmittedJob,
-               reason: str = "cancelled by user") -> Generator:
-        """On-line output control (§1): the user decides to cancel the job
-        in accordance with its output.  The kill order is broadcast through
-        the Grid Console to every Console Agent, which terminates its
-        trapped process; the job record resolves as a failure carrying the
-        reason."""
-        if submitted.finished.triggered:
-            return False
-        self.trace.log(self.env.now, "cancel", job=submitted.job.job_id,
-                       reason=reason)
-        submitted.report.error = f"Cancelled: {reason}"
-        if submitted.session is not None:
-            yield from submitted.session.kill_job(reason)
-        return True
 
     # ------------------------------------------------------------------
     # Top-level dispatch
     # ------------------------------------------------------------------
-    def _run(self, submitted: SubmittedJob,
-             factory: BehaviorFactory) -> Generator:
+    def _execute(self, submitted: SubmittedJob,
+                 factory: BehaviorFactory) -> Generator:
         job = submitted.job
-        report = submitted.report
-        self.trace.log(self.env.now, "submit", job=job.job_id,
-                       owner=job.owner, interactive=job.is_interactive)
-        tr = self.env.tracer
-        span = tr.begin("submit", job=job.job_id, owner=job.owner,
-                        interactive=job.is_interactive) \
-            if tr is not None else None
-        try:
-            if job.wants_shared_vm:
-                yield from self._run_shared(submitted, factory)
-            elif job.is_interactive:
-                yield from self._run_exclusive(submitted, factory)
-            else:
-                yield from self._run_batch(submitted, factory)
-        except Exception as exc:  # noqa: BLE001 - surfaced in the report
-            report.error = f"{type(exc).__name__}: {exc}"
-            self.trace.log(self.env.now, "failed", job=job.job_id,
-                           error=report.error)
-            if tr is not None:
-                tr.end(span, status="error")
-                tr.count("jobs_failed", job=job.job_id)
-            if not submitted.finished.triggered:
-                submitted.finished.fail(exc)
-                submitted.finished.defuse()
-            return
-        report.finished_at = self.env.now
-        if tr is not None:
-            tr.end(span)
+        if job.wants_shared_vm:
+            yield from self._run_shared(submitted, factory)
+        elif job.is_interactive:
+            yield from self._run_exclusive(submitted, factory)
+        else:
+            yield from self._run_batch(submitted, factory)
 
     # ------------------------------------------------------------------
     # Path 1: batch (+ glide-in agent)
@@ -443,46 +286,14 @@ class CrossBroker:
         yield from self._finish_measurement(submitted)
 
     # ------------------------------------------------------------------
-    # Shared helpers
+    # Push-specific helpers
     # ------------------------------------------------------------------
-    def _discover_and_select(self, submitted: SubmittedJob) -> Generator:
-        """Stages 1+2; fills the report's timing columns."""
-        job = submitted.job
-        report = submitted.report
-        tr = self.env.tracer
-        span = tr.begin("match", job=job.job_id, path="mds") \
-            if tr is not None else None
-        match_started = self.env.now
-        adverts, discovery_time = yield from self.selector.discover()
-        report.discovery_time = discovery_time
-        self._note_grid_size(adverts)
-        outcome = yield from self.selector.select(job, adverts)
-        report.selection_time = outcome.selection_time
-        self.trace.log(self.env.now, "selected", job=job.job_id,
-                       n_candidates=len(outcome.candidates),
-                       discovery=discovery_time,
-                       selection=outcome.selection_time)
-        if tr is not None:
-            tr.end(span)
-        t = self.env.telemetry
-        if t is not None:
-            t.histogram("broker.match_latency.mds").observe(
-                self.env.now - match_started)
-        return outcome.candidates
-
-    def _note_grid_size(self, adverts) -> None:
-        total = sum(int(a.attributes.get("TotalCPUs", 0)) for a in adverts)
-        self.fairshare.total_cpus = max(total, 1)
-
     def _site_has_capacity(self, candidate) -> bool:
         if self.leases.available(candidate.site, candidate.free_cpus, 1):
             return True
         max_queue = int(candidate.attributes.get("MaxQueuedJobs", 999999))
         willingness = 2 * max(int(candidate.attributes.get("TotalCPUs", 1)), 1)
         return candidate.queue_length < min(max_queue, willingness)
-
-    def _admit(self, job: JobDescription, scarce: bool) -> bool:
-        return self.fairshare.admit(job.owner, scarce=scarce)
 
     def _interactive_slots_for_next_agent(self) -> int:
         """Degree of multiprogramming for a freshly planted agent (§7)."""
@@ -493,131 +304,6 @@ class CrossBroker:
         self._vm_miss_times = [t for t in self._vm_miss_times if t >= horizon]
         return min(base + len(self._vm_miss_times),
                    self.config.max_interactive_slots)
-
-    def _charge_start(self, job: JobDescription) -> None:
-        af = (af_interactive(job.performance_loss,
-                             self.calibration.fairshare.af_interactive_literal)
-              if job.is_interactive else af_batch())
-        self.fairshare.job_started(job.owner, job.job_id, job.node_number, af)
-
-    def _charge_finish(self, job: JobDescription) -> None:
-        self.fairshare.job_finished(job.owner, job.job_id)
-
-    def _retrieve_output(self, submitted: SubmittedJob) -> Generator:
-        """Stage the output sandbox back once the job completed (§1)."""
-        job = submitted.job
-        if not job.output_sandbox or not submitted.report.sites:
-            return
-        gatekeeper = f"gk.{submitted.report.sites[0]}"
-        tr = self.env.tracer
-        span = tr.begin("output_retrieval", job=job.job_id,
-                        site=submitted.report.sites[0],
-                        nbytes=job.output_sandbox) \
-            if tr is not None else None
-        try:
-            elapsed = yield from retrieve_output(
-                self.env, self.network, self.rng, gatekeeper,
-                self.broker_host, job.output_sandbox)
-        except BaseException:
-            if tr is not None:
-                tr.end(span, status="error")
-            raise
-        if tr is not None:
-            tr.end(span)
-        submitted.report.output_retrieval_time = elapsed
-        self.trace.log(self.env.now, "output-retrieved", job=job.job_id,
-                       elapsed=elapsed)
-
-    def _charge_shadow_setup(self, submitted: SubmittedJob) -> Generator:
-        """Start the console shadow + wait for its port to be probed
-        (part of the submission step whenever a console is attached)."""
-        if submitted.session is not None:
-            yield self.env.timeout(self.rng.jitter(
-                "broker/shadow-setup", self.costs.shadow_setup, 0.15))
-
-    def _finish_measurement(self, submitted: SubmittedJob) -> Generator:
-        """Record first-output timing once the console reports it."""
-        report = submitted.report
-        if submitted.session is not None:
-            first = yield submitted.session.shadow.first_output
-            report.first_output_at = first
-            report.response_time = first - report.submitted_at
-
-    # -- GRAM path ---------------------------------------------------------
-    def _submit_via_gram(self, submitted: SubmittedJob,
-                         factory: BehaviorFactory, candidate,
-                         rank: int) -> Generator:
-        """Exclusive-mode submission of one subjob.  Returns True if the
-        job started; False if it queued past the on-line-scheduling bound
-        (and was cancelled for resubmission)."""
-        job = submitted.job
-        report = submitted.report
-        submit_started = self.env.now
-        tr = self.env.tracer
-        span = tr.begin("gram_submit", job=job.job_id, site=candidate.site,
-                        rank=rank) if tr is not None else None
-        yield from self._charge_shadow_setup(submitted)
-        lease = self.leases.acquire(candidate.site, job.job_id)
-        gram = GramClient(self.env, self.network, self.rng, self.broker_host,
-                          candidate.gatekeeper, self.costs)
-        try:
-            yield from gram.connect()
-            if job.input_sandbox:
-                yield from stage_input(self.env, self.network, self.rng,
-                                       self.broker_host, candidate.gatekeeper,
-                                       job.input_sandbox)
-            else:
-                # Sandbox preparation still costs a transfer setup.
-                yield self.env.timeout(self.rng.jitter(
-                    "broker/stage-setup", self.costs.input_staging, 0.15))
-            setup = None
-            if submitted.session is not None:
-                node_host = None  # chosen by the LRMS; CA connects back.
-                setup = submitted.session.make_setup(candidate.gatekeeper,
-                                                     rank)
-            ticket = yield from gram.submit(
-                f"{job.job_id}/r{rank}", job.owner, factory(rank),
-                interactive=job.is_interactive, two_phase=True,
-                priority=self.fairshare.ordering_key(job.owner),
-                setup=setup)
-        except BaseException:
-            self.leases.release(lease)
-            yield from gram.close()
-            if tr is not None:
-                tr.end(span, status="error")
-            raise
-        self.leases.release(lease)
-
-        # On-line scheduling (§3): the scheduler attempts to run each
-        # interactive job immediately — if it enters a queue instead, it is
-        # cancelled and resubmitted to another available resource.
-        timeout = self.env.timeout(self.config.queued_resubmit_timeout)
-        yield ticket.handle.started | timeout
-        if not ticket.handle.started.triggered:
-            self.trace.log(self.env.now, "resubmit", job=job.job_id,
-                           site=candidate.site)
-            if tr is not None:
-                tr.end(span, status="queued-timeout")
-                tr.count("resubmits", job=job.job_id, site=candidate.site)
-            try:
-                yield from gram.cancel(ticket.gram_id)
-            except NetworkError:
-                pass
-            yield from gram.close()
-            return False
-        yield from gram.close()
-
-        if tr is not None:
-            tr.end(span)
-        report.sites.append(candidate.site)
-        report.started_at = self.env.now
-        report.submission_time = self.env.now - submit_started
-        self._charge_start(job)
-        if not submitted.started.triggered:
-            submitted.started.succeed(self.env.now)
-        self.env.process(self._watch_finish(submitted, [ticket.handle.finished]),
-                         name=f"broker/watch/{job.job_id}")
-        return True
 
     def _submit_parallel_exclusive(self, submitted: SubmittedJob,
                                    factory: BehaviorFactory,
@@ -915,24 +601,6 @@ class CrossBroker:
                 self.fairshare.reweight_job(owner, job_id, original_af)
 
         self.env.process(cleanup(), name=f"broker/watch/{job.job_id}")
-
-    def _watch_finish(self, submitted: SubmittedJob,
-                      finish_events: List[Event]) -> Generator:
-        job = submitted.job
-        try:
-            condition = yield self.env.all_of(finish_events)
-            results = [e.value for e in finish_events]
-            yield from self._retrieve_output(submitted)
-            if not submitted.finished.triggered:
-                submitted.finished.succeed(results)
-        except Exception as exc:  # noqa: BLE001 - job failure
-            if not submitted.finished.triggered:
-                submitted.finished.fail(exc)
-                submitted.finished.defuse()
-        finally:
-            self._charge_finish(job)
-            submitted.report.finished_at = self.env.now
-            self.trace.log(self.env.now, "finished", job=job.job_id)
 
     # -- introspection ---------------------------------------------------
     @property

@@ -1,0 +1,99 @@
+"""Replica catalog: where each logical file's physical copies live.
+
+The Gridbus broker (PAPERS.md, cs/0405023) schedules *data-intensive*
+jobs by consulting a replica catalog and weighing network transfer cost
+alongside compute cost.  This module provides the catalog half of that
+design: a deterministic in-memory mapping ``lfn -> [Replica]`` with
+transfer-time estimates computed from the simulated topology's
+jitter-free base rates (:meth:`repro.net.Network.base_transfer_time`),
+so ranking decisions never consume RNG draws.
+
+Jobs name their inputs through the JDL ``InputData`` attribute (carried
+in ``JobDescription.raw``); any broker mode stages declared inputs, but
+only the :class:`~repro.core.data.DataAwareBroker` *ranks* sites by
+locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..net import Network
+
+
+@dataclass(frozen=True)
+class Replica:
+    """One physical copy of a logical file."""
+
+    lfn: str
+    site: str
+    #: Storage endpoint the copy is fetched from (the site's gatekeeper).
+    gatekeeper: str
+    nbytes: int
+
+
+class ReplicaCatalog:
+    """Deterministic in-memory replica location service."""
+
+    def __init__(self, network: Optional[Network] = None) -> None:
+        self.network = network
+        self._by_lfn: Dict[str, List[Replica]] = {}
+
+    # -- registration -----------------------------------------------------
+    def register(self, lfn: str, site: str, nbytes: int,
+                 gatekeeper: Optional[str] = None) -> Replica:
+        """Record a copy of ``lfn`` at ``site`` (size in bytes)."""
+        replica = Replica(lfn=lfn, site=site,
+                          gatekeeper=gatekeeper or f"gk.{site}",
+                          nbytes=int(nbytes))
+        self._by_lfn.setdefault(lfn, []).append(replica)
+        return replica
+
+    # -- lookup -----------------------------------------------------------
+    def locations(self, lfn: str) -> List[Replica]:
+        """All registered copies, in registration order."""
+        return list(self._by_lfn.get(lfn, ()))
+
+    def __contains__(self, lfn: str) -> bool:
+        return lfn in self._by_lfn
+
+    def __len__(self) -> int:
+        return len(self._by_lfn)
+
+    @property
+    def lfns(self) -> List[str]:
+        return list(self._by_lfn)
+
+    # -- transfer-cost estimates ------------------------------------------
+    def nearest(self, lfn: str, dst_gatekeeper: str) -> Optional[Replica]:
+        """The copy with the smallest deterministic transfer estimate.
+
+        Ties keep registration order (stable ``min``); without a wired
+        network the first registered copy wins.
+        """
+        locations = self._by_lfn.get(lfn)
+        if not locations:
+            return None
+        if self.network is None:
+            return locations[0]
+        return min(locations,
+                   key=lambda r: self.network.base_transfer_time(
+                       r.gatekeeper, dst_gatekeeper, r.nbytes))
+
+    def transfer_estimate(self, lfn: str, dst_gatekeeper: str) -> float:
+        """Jitter-free seconds to pull ``lfn``'s best copy to ``dst``.
+
+        0.0 when a copy is already local (same endpoint); ``inf`` when
+        the file is unknown (an impossible placement must rank last).
+        """
+        replica = self.nearest(lfn, dst_gatekeeper)
+        if replica is None:
+            return float("inf")
+        if replica.gatekeeper == dst_gatekeeper or self.network is None:
+            return 0.0
+        return self.network.base_transfer_time(
+            replica.gatekeeper, dst_gatekeeper, replica.nbytes)
+
+
+__all__ = ["Replica", "ReplicaCatalog"]

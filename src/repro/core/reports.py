@@ -20,6 +20,9 @@ class SubmissionPath(enum.Enum):
     INTERACTIVE_SHARED_VM = "interactive-shared-vm"
     #: Interactive, shared, but no agent existed: new agent + job.
     INTERACTIVE_SHARED_NEW_AGENT = "interactive-shared-new-agent"
+    #: Pull mode: the job waited in the central task queue until a site
+    #: agent claimed it (AliEn-style inverted flow).
+    PULLED = "pulled"
 
 
 @dataclass
@@ -44,6 +47,8 @@ class SubmissionReport:
     error: Optional[str] = None
     #: Time spent staging the output sandbox back (0 when none).
     output_retrieval_time: float = 0.0
+    #: Time spent fetching declared input datasets (0 when none).
+    data_staging_time: float = 0.0
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     first_output_at: Optional[float] = None

@@ -48,6 +48,10 @@ class ResourceSelector:
         self.broker_host = broker_host
         self.index_host = index_host
         self.matchmaker = Matchmaker(rng)
+        #: When False, stage 2 trusts the (possibly stale) MDS adverts and
+        #: skips the per-site refresh RPCs entirely — the lever the
+        #: ``broker_modes`` experiment uses to expose push-mode staleness.
+        self.refresh_enabled = True
 
     # -- stage 1 -----------------------------------------------------------
     def discover(self) -> Generator:
@@ -107,6 +111,18 @@ class ResourceSelector:
         matched = self.matchmaker.filter_candidates(job, adverts)
         # Matchmaking CPU cost scales with candidate count.
         yield self.env.timeout(self.costs.matchmaking_per_site * max(len(adverts), 1))
+
+        if not self.refresh_enabled:
+            # Stale path: rank over the advert attributes as-is.  No RPCs,
+            # no extra events — decisions are only as good as the index.
+            ordered = self.matchmaker.order(job, list(matched),
+                                            exclude=exclude)
+            return SelectionOutcome(
+                candidates=ordered,
+                selection_time=self.env.now - start,
+                sites_discovered=len(adverts),
+                sites_refreshed=0,
+            )
 
         refreshed: List[Candidate] = []
         window = max(1, self.costs.site_refresh_parallelism)

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 from ..metrics import AsciiTable
 
 if TYPE_CHECKING:  # pragma: no cover
-    from .broker import CrossBroker, SubmittedJob
+    from .base import BrokerBase, SubmittedJob
 
 
 @dataclass(frozen=True)
@@ -49,6 +49,8 @@ class BrokerSnapshot:
     agents: List[AgentStatus] = field(default_factory=list)
     priorities: Dict[str, float] = field(default_factory=dict)
     queued_batch: int = 0
+    #: Tasks waiting in the pull broker's central queue (0 off-pull).
+    pending_tasks: int = 0
 
     # -- aggregates -------------------------------------------------------
     def count(self, stage: str) -> int:
@@ -93,6 +95,9 @@ class BrokerSnapshot:
         if self.queued_batch:
             out.append(f"batch jobs waiting in the broker queue: "
                        f"{self.queued_batch}")
+        if self.pending_tasks:
+            out.append(f"tasks waiting in the pull queue: "
+                       f"{self.pending_tasks}")
         return "\n\n".join(out)
 
 
@@ -109,7 +114,7 @@ def job_stage(submitted: "SubmittedJob") -> str:
     return "submitted"
 
 
-def snapshot(broker: "CrossBroker",
+def snapshot(broker: "BrokerBase",
              submitted_jobs: Optional[List["SubmittedJob"]] = None
              ) -> BrokerSnapshot:
     """Build a snapshot; job rows come from the provided records (the
@@ -141,4 +146,5 @@ def snapshot(broker: "CrossBroker",
     for user in broker.fairshare.users():
         snap.priorities[user] = broker.fairshare.priority(user)
     snap.queued_batch = broker.queued_batch_count
+    snap.pending_tasks = broker.pending_task_count
     return snap

@@ -13,6 +13,7 @@ from .ablations import (
     run_performance_loss_sweep,
     run_retry_sweep,
 )
+from .broker_modes import BrokerModesConfig, run_broker_modes
 from .common import ExperimentResult, ShapeCheck
 from .export import collect_series, export_all, export_result
 from .fairshare_saturation import SaturationConfig, run_fairshare_saturation
@@ -23,6 +24,7 @@ from .streaming_overhead import StreamingConfig, run_fig6, run_fig7
 from .table1 import Table1Config, run_table1
 
 __all__ = [
+    "BrokerModesConfig",
     "BufferSweepConfig",
     "DegreeSweepConfig",
     "ExperimentResult",
@@ -40,6 +42,7 @@ __all__ = [
     "export_all",
     "export_result",
     "run_all_ablations",
+    "run_broker_modes",
     "run_buffer_sweep",
     "run_degree_sweep",
     "run_fairshare_saturation",

@@ -33,7 +33,7 @@ from ..calibration import Calibration, DEFAULT_CALIBRATION
 from ..grid import Testbed
 from ..jdl import JobDescription, JobCategory, MachineAccess, StreamingMode
 from ..metrics import AsciiTable, Series
-from ..core import BrokerConfig, CrossBroker, SubmissionPath
+from ..core import SubmissionPath, make_broker
 from ..runner.spec import CellKey, ExperimentSpec, register
 from ..scenario import Scenario
 from ..workloads import cpu_bound_app, immediate_output_app
@@ -124,7 +124,7 @@ def _measure_broker_method(config: Table1Config, scenario: str, method: str,
                            offset: int) -> MethodMeasurement:
     tb, target = _world(config, scenario, offset)
     env = tb.env
-    broker = CrossBroker(env, tb.network, tb.rng, config.calibration)
+    broker = make_broker(env, tb.network, tb.rng, config.calibration)
     discovery: List[float] = []
     selection: List[float] = []
     submission: List[float] = []

@@ -29,9 +29,12 @@ A :class:`ScenarioHandle` bundles everything a driver needs — ``env``,
 optional lifecycle ``tracer`` — so call sites never juggle five objects.
 
 The legacy free functions (:func:`repro.grid.campus_grid`,
-:func:`repro.grid.wan_grid`, :func:`repro.grid.europe_testbed`,
-:func:`repro.grid.base_world`) remain as thin compatibility shims; new
-code should build worlds through :class:`Scenario`.
+:func:`repro.grid.wan_grid`, :func:`repro.grid.base_world`) remain as
+deprecated compatibility shims that emit :class:`DeprecationWarning`;
+build worlds through :class:`Scenario`.  The scenario also selects the
+brokering mode (``broker_mode="push" | "pull" | "data"``) — the handle's
+``broker`` satisfies :class:`repro.core.BrokerProtocol` whichever mode
+is chosen.
 """
 
 from __future__ import annotations
@@ -46,13 +49,14 @@ from .calibration import (
     NetworkProfile,
     WAN,
 )
-from .grid import SiteConfig, Testbed, base_world, europe_testbed
+from .grid import SiteConfig, Testbed, europe_testbed
+from .grid.testbed import _base_world
 from .grid.site import Site
 from .net import Network
 from .sim import Environment, RandomStreams
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
-    from .core import BrokerConfig, CrossBroker, SubmittedJob
+    from .core import BrokerConfig, BrokerProtocol, ReplicaCatalog, SubmittedJob
     from .obs import Telemetry, Tracer
 
 #: Default target site name per scenario kind.
@@ -99,6 +103,10 @@ class Scenario:
     #: defers to ``Environment.default_sanitize`` so audit scopes
     #: (:func:`repro.analysis.sanitize_all`) can flip whole builds.
     sanitize: Optional[bool] = None
+    #: Brokering mode: ``push`` (the paper's CrossBroker), ``pull``
+    #: (AliEn-style task queue drained by per-site agents), or ``data``
+    #: (Gridbus-style transfer-cost ranking + deadline/budget gates).
+    broker_mode: str = "push"
 
     def build(self) -> "ScenarioHandle":
         """Construct and wire the world; returns the bundle handle."""
@@ -108,6 +116,12 @@ class Scenario:
                 f"choose campus, wan, or europe")
         if self.sites < 1:
             raise ValueError("a scenario needs at least one site")
+        from .core import BROKER_MODES
+
+        if self.broker_mode not in BROKER_MODES:
+            raise ValueError(
+                f"unknown broker_mode {self.broker_mode!r}; "
+                f"choose one of {', '.join(BROKER_MODES)}")
 
         if self.scenario == "europe":
             testbed = europe_testbed(
@@ -116,8 +130,9 @@ class Scenario:
                 calibration=self.calibration, sanitize=self.sanitize)
             target = None
         else:
-            testbed = base_world(seed=self.seed, calibration=self.calibration,
-                                 sanitize=self.sanitize)
+            testbed = _base_world(seed=self.seed,
+                                  calibration=self.calibration,
+                                  sanitize=self.sanitize)
             target = self.site_name or _DEFAULT_TARGET[self.scenario]
             profile = CAMPUS if self.scenario == "campus" else WAN
             testbed.add_site(
@@ -162,7 +177,8 @@ class ScenarioHandle:
     target: Optional[str]
     tracer: Optional["Tracer"] = None
     telemetry: Optional["Telemetry"] = None
-    _broker: Optional["CrossBroker"] = None
+    _broker: Optional["BrokerProtocol"] = None
+    _replicas: Optional["ReplicaCatalog"] = None
 
     # -- bundle accessors -------------------------------------------------
     @property
@@ -187,23 +203,36 @@ class ScenarioHandle:
         return self.testbed.env.sanitizer
 
     @property
-    def broker(self) -> "CrossBroker":
-        from .core import CrossBroker
+    def replicas(self) -> "ReplicaCatalog":
+        """The world's replica catalog (created lazily, shared with the
+        broker).  Register copies here *before* first broker access."""
+        from .core import ReplicaCatalog
 
+        if self._replicas is None:
+            self._replicas = ReplicaCatalog(self.network)
+        return self._replicas
+
+    @property
+    def broker(self) -> "BrokerProtocol":
         if self._broker is None:
-            self._broker = CrossBroker(self.env, self.network, self.rng,
-                                       self.calibration)
+            self._broker = self._make_broker(config=None)
         return self._broker
 
-    def configure_broker(self, config: "BrokerConfig") -> "CrossBroker":
-        """Create the broker with a non-default :class:`BrokerConfig`."""
-        from .core import CrossBroker
-
+    def configure_broker(self, config: "BrokerConfig") -> "BrokerProtocol":
+        """Create the broker with a non-default :class:`BrokerConfig`
+        (must be the scenario's mode-matching config subclass)."""
         if self._broker is not None:
             raise RuntimeError("broker already created for this handle")
-        self._broker = CrossBroker(self.env, self.network, self.rng,
-                                   self.calibration, config=config)
+        self._broker = self._make_broker(config=config)
         return self._broker
+
+    def _make_broker(self, config: Optional["BrokerConfig"]) -> "BrokerProtocol":
+        from .core import make_broker
+
+        return make_broker(self.env, self.network, self.rng, self.calibration,
+                           mode=self.scenario.broker_mode, config=config,
+                           sites=self.testbed.sites.values(),
+                           replicas=self.replicas)
 
     # -- world accessors --------------------------------------------------
     def site(self, name: Optional[str] = None) -> Site:
@@ -223,9 +252,20 @@ class ScenarioHandle:
         self.testbed.publish_all_now()
 
     # -- driver conveniences ----------------------------------------------
-    def submit(self, job, behavior, **kwargs) -> "SubmittedJob":
-        """Submit through the (lazily created) CrossBroker."""
-        return self.broker.submit(job, behavior, **kwargs)
+    def submit(self, job, behavior, ui_host: str = "ui",
+               attach_console: Optional[bool] = None,
+               daemon: bool = False) -> "SubmittedJob":
+        """Submit through the (lazily created) broker.
+
+        Parameters mirror :meth:`repro.core.BrokerProtocol.submit`:
+        ``ui_host`` is where the Grid Console shadow listens,
+        ``attach_console`` overrides the interactive-job default, and
+        ``daemon=True`` marks a background-by-design submission exempt
+        from the lifecycle sanitizer.
+        """
+        return self.broker.submit(job, behavior, ui_host=ui_host,
+                                  attach_console=attach_console,
+                                  daemon=daemon)
 
     def run(self, until=None):
         """Advance the simulation (delegates to ``env.run``)."""

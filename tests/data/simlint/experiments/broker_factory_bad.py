@@ -1,0 +1,16 @@
+"""Fixture: direct broker construction from experiment-level code."""
+
+from repro.core import CrossBroker, DataAwareBroker, PullBroker  # noqa: F401
+
+
+def run_cell(env, network, rng, calibration):
+    broker = CrossBroker(env, network, rng, calibration)
+    pull = PullBroker(env, network, rng, calibration)
+    data = DataAwareBroker(env, network, rng, calibration)
+    return broker, pull, data
+
+
+def qualified(env, network, rng, calibration):
+    import repro.core as core
+
+    return core.CrossBroker(env, network, rng, calibration)

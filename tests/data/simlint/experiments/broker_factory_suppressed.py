@@ -1,0 +1,10 @@
+"""Fixture: the same hazards carrying suppression markers."""
+
+from repro.core import CrossBroker, DataAwareBroker, PullBroker  # noqa: F401
+
+
+def run_cell(env, network, rng, calibration):
+    broker = CrossBroker(env, network, rng, calibration)  # simlint: disable=broker-factory -- conformance test exercises the class directly
+    pull = PullBroker(env, network, rng, calibration)  # simlint: disable=broker-factory -- conformance test exercises the class directly
+    data = DataAwareBroker(env, network, rng, calibration)  # simlint: disable=broker-factory -- conformance test exercises the class directly
+    return broker, pull, data

@@ -48,6 +48,7 @@ EXPECTED_MIN = {
     "bare-except": 1,
     "swallowed-error": 2,
     "obs-direct-import": 8,
+    "broker-factory": 4,
 }
 
 
@@ -56,8 +57,12 @@ def _fixture(name: str) -> str:
     if os.path.exists(flat):
         return flat
     # Path-dependent rules (layering) keep their fixtures under a subdir
-    # named after the restricted path segment, e.g. core/.
-    return os.path.join(FIXTURES, "core", name)
+    # named after the restricted path segment, e.g. core/, experiments/.
+    for segment in ("core", "experiments"):
+        nested = os.path.join(FIXTURES, segment, name)
+        if os.path.exists(nested):
+            return nested
+    raise FileNotFoundError(name)
 
 
 def test_rule_catalog_is_complete():
