@@ -1,3 +1,34 @@
-from setuptools import setup
+"""Build hooks for the optional compiled kernel lane.
 
-setup()
+``pip install .`` works with no compiler at all; when one is present,
+the build also produces ``repro.sim._speedups`` — the dependency-free
+CPython extension behind ``REPRO_SIM_COMPILED=1`` (see the "Kernel
+performance" section of ARCHITECTURE.md).  The extension is marked
+``optional``: a failed compile degrades to a pure-Python install rather
+than failing it, because the interpreted lane is the reference
+implementation and everything works without the extension.
+
+Set ``REPRO_BUILD_SPEEDUPS=0`` to skip the compile attempt entirely
+(e.g. for a guaranteed-pure wheel).  ``python tools/build_compiled.py``
+builds the same extension in place without pip or a build backend.
+
+The original plan for this lane was mypyc (with a Cython fallback);
+neither toolchain is available in the hermetic build image this repo
+targets, so the lane is a hand-written C transcription instead —
+``src/repro/sim/_speedups.c`` — which also removes the compile-time
+dependency those backends would have added.
+"""
+
+import os
+
+from setuptools import Extension, setup
+
+ext_modules = []
+if os.environ.get("REPRO_BUILD_SPEEDUPS", "1") != "0":
+    ext_modules.append(Extension(
+        "repro.sim._speedups",
+        sources=["src/repro/sim/_speedups.c"],
+        optional=True,  # no compiler -> pure-Python install, not a failure
+    ))
+
+setup(ext_modules=ext_modules)

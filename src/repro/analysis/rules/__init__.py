@@ -27,7 +27,11 @@ from .kernel import (
     SwallowedErrorRule,
     TriggerInInitRule,
 )
-from .layering import BrokerConstructionRule, ObsDirectImportRule
+from .layering import (
+    BrokerConstructionRule,
+    CompiledLanePurityRule,
+    ObsDirectImportRule,
+)
 
 __all__ = ["ALL_RULES", "rules_by_id"]
 
@@ -45,6 +49,7 @@ ALL_RULES: List[Rule] = [
     SwallowedErrorRule(),
     ObsDirectImportRule(),
     BrokerConstructionRule(),
+    CompiledLanePurityRule(),
 ]
 
 

@@ -23,7 +23,75 @@ from typing import Tuple, Type
 
 from ..engine import LintContext, Rule
 
-__all__ = ["BrokerConstructionRule", "ObsDirectImportRule"]
+__all__ = ["BrokerConstructionRule", "CompiledLanePurityRule",
+           "ObsDirectImportRule"]
+
+
+class CompiledLanePurityRule(Rule):
+    """A ``repro.sim`` module imports outside the kernel's closure.
+
+    The kernel package must stay self-contained: its compiled lane
+    (``REPRO_SIM_COMPILED=1``) binds the pure-Python classes into a C
+    extension at import time, and runner workers unpickle kernel state
+    cold — both break (import cycles, lane divergence, heavyweight
+    transitive imports in every worker) the moment ``repro.sim`` reaches
+    *up* into broker/experiment/observability layers.  Module-level
+    imports in ``repro/sim/`` may therefore only be intra-package
+    relative imports or members of the frozen substrate allowlist
+    (stdlib modules the kernel already leans on, plus numpy for the RNG
+    spine).  Function-level imports are exempt: they are lazy by
+    construction and cannot create import cycles at bind time.
+    """
+
+    id = "compiled-lane-purity"
+    category = "layering"
+    summary = ("repro/sim modules may import only intra-package relative "
+               "modules or the kernel substrate allowlist at module "
+               "level (compiled lane + worker-unpickle purity)")
+    node_types: Tuple[Type[ast.AST], ...] = (ast.Import, ast.ImportFrom)
+
+    #: Top-level modules the kernel substrate is allowed to lean on.
+    _ALLOWED = frozenset({
+        "__future__", "collections", "dataclasses", "enum", "functools",
+        "heapq", "itertools", "math", "os", "types", "typing",
+        "warnings", "weakref",
+        # Not stdlib, but the RNG/monitor spine is built on it and it is
+        # a hard dependency of the whole repro package.
+        "numpy",
+    })
+
+    def applies_to(self, relpath: str) -> bool:
+        parts = relpath.replace(os.sep, "/").split("/")
+        return "sim" in parts
+
+    def _violation(self, node: ast.AST, ctx: LintContext,
+                   name: str) -> None:
+        ctx.report(self, node,
+                   f"module-level import of {name!r} from repro.sim — "
+                   f"the kernel package must stay importable on its own "
+                   f"(compiled lane binds at import; workers unpickle "
+                   f"cold); use a relative intra-package import, move "
+                   f"the import inside the function that needs it, or "
+                   f"extend the substrate allowlist deliberately")
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if ctx.current_function is not None:
+            return  # lazy: cannot participate in an import cycle
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                top = alias.name.split(".")[0]
+                if top not in self._ALLOWED:
+                    self._violation(node, ctx, alias.name)
+            return
+        assert isinstance(node, ast.ImportFrom)
+        if node.level >= 1:
+            return  # relative: intra-package by construction
+        module = node.module or ""
+        # Absolute self-imports (repro.sim[.x]) stay inside the package.
+        if module == "repro.sim" or module.startswith("repro.sim."):
+            return
+        if module.split(".")[0] not in self._ALLOWED:
+            self._violation(node, ctx, module)
 
 
 class ObsDirectImportRule(Rule):

@@ -1,0 +1,207 @@
+"""Sharded-site conveyor: conservative time-window parallel simulation.
+
+The cell engine (:mod:`repro.runner.engine`) fans out *independent*
+cells; a multi-site world is one cell because its sites interact.  The
+conveyor splits that world along its weakest coupling: sites exchange
+work only at **window boundaries**, so each site can simulate a whole
+window ``[k*W, (k+1)*W)`` without seeing its peers — the classic
+conservative-synchronization argument, with the window playing the role
+of lookahead:
+
+* every cross-site message carries a delivery latency ``>= W``, so a
+  message *sent* during window ``k`` is *delivered* at the boundary of a
+  strictly later window and can never affect the window that produced
+  it;
+* rounds are barrier-synchronized (BSP): window ``k`` of every site
+  completes, messages are routed, then window ``k+1`` starts.
+
+Execution model, mirroring the engine's determinism contract:
+
+1. a :class:`SiteTask` (a module-level function — picklable by name)
+   advances one site by one window: ``task(config, site, round, state,
+   inbox) -> WindowResult``;
+2. per round, the conveyor runs every live site's window — in-process,
+   or fanned out over a ``ProcessPoolExecutor`` reused across rounds;
+3. results are **gathered in site order**, never completion order, and
+   outbox messages are routed sorted by ``(origin, seq)`` — so a
+   parallel run is bit-identical to a serial run by construction.
+
+Worker fan-out is therefore *only* a scheduling knob.  It arrives via
+``repro run --shard-sites N`` (exported as ``REPRO_SHARD_SITES`` so the
+engine's own worker processes inherit it) and never enters any config or
+cache key; the decomposition that *does* shape the results — site count,
+window length, forward latency — lives in the experiment config and
+hashes into the blake2b cell cache like every other config field.
+
+State crossing the barrier must be plain picklable data (dicts, tuples,
+lists) — never a live :class:`~repro.sim.Environment`.  A site task that
+needs the kernel builds a fresh environment per window from its carried
+state.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Message:
+    """A cross-site message delivered at a window boundary.
+
+    ``deliver_round`` is the window index whose *start* sees the message;
+    the conveyor enforces that it is strictly after the sending round
+    (the conservative-lookahead invariant).
+    """
+
+    deliver_round: int
+    dest_site: int
+    payload: Any
+
+
+@dataclass
+class WindowResult:
+    """What one site's window hands back across the barrier."""
+
+    state: Any
+    outbox: List[Message] = field(default_factory=list)
+    #: True once the site has no pending work of its own; the conveyor
+    #: stops when every site is quiescent and no messages are in flight.
+    quiescent: bool = False
+
+
+#: ``task(config, site, round_index, state, inbox) -> WindowResult``.
+#: ``state`` is ``None`` on the first window (the task initializes).
+#: ``inbox`` holds the payloads delivered at this window's start, in
+#: deterministic (origin-site, send-order) order.
+SiteTask = Callable[[Any, int, int, Any, List[Any]], WindowResult]
+
+
+def shard_sites_from_env() -> int:
+    """Worker fan-out requested via ``repro run --shard-sites N``.
+
+    Read at run time (not import) so the flag reaches conveyor calls
+    inside engine worker processes.  Returns 1 (serial) when unset or
+    malformed — fan-out is best-effort, results do not depend on it.
+    """
+    raw = os.environ.get("REPRO_SHARD_SITES", "")  # simlint: disable=environ-read -- fan-out knob only; cannot affect results (see module docstring)
+    try:
+        n = int(raw)
+    except ValueError:
+        return 1
+    return max(1, n)
+
+
+def _run_window(task: SiteTask, config: Any, site: int, round_index: int,
+                state: Any, inbox: List[Any]) -> WindowResult:
+    """Worker-side entry point (module-level: picklable by name)."""
+    return task(config, site, round_index, state, inbox)
+
+
+def run_conveyor(task: SiteTask, config: Any, n_sites: int, *,
+                 workers: Optional[int] = None,
+                 max_rounds: int = 100_000,
+                 progress: Optional[Callable[[str], None]] = None,
+                 ) -> List[Any]:
+    """Drive ``n_sites`` site tasks to quiescence; return final states.
+
+    ``workers`` defaults to :func:`shard_sites_from_env`.  With any
+    worker count the result is identical: rounds are barriers, gathering
+    is in site order, and message routing is deterministic.
+    """
+    if n_sites <= 0:
+        raise ValueError(f"n_sites must be positive, got {n_sites}")
+    if workers is None:
+        workers = shard_sites_from_env()
+    workers = min(max(1, workers), n_sites)
+    say = progress or (lambda line: None)
+
+    states: List[Any] = [None] * n_sites
+    #: (round, site) -> ordered payloads.  Routed sorted by origin site
+    #: then send order, so delivery order never depends on scheduling.
+    pending: Dict[Tuple[int, int], List[Any]] = {}
+
+    executor: Optional[ProcessPoolExecutor] = None
+    if workers > 1:
+        try:
+            executor = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, PermissionError) as exc:
+            say(f"[conveyor] process pool unavailable ({exc}); "
+                f"running site windows serially")
+            executor = None
+
+    try:
+        round_index = 0
+        while True:
+            if round_index >= max_rounds:
+                raise RuntimeError(
+                    f"conveyor exceeded max_rounds={max_rounds} without "
+                    f"quiescing (runaway message loop?)")
+            inboxes = [pending.pop((round_index, site), [])
+                       for site in range(n_sites)]
+
+            results: List[WindowResult]
+            if executor is not None:
+                try:
+                    futures = [
+                        executor.submit(_run_window, task, config, site,
+                                        round_index, states[site],
+                                        inboxes[site])
+                        for site in range(n_sites)
+                    ]
+                    results = [f.result() for f in futures]  # site order
+                except (OSError, PermissionError) as exc:
+                    say(f"[conveyor] process pool failed mid-run ({exc}); "
+                        f"falling back to serial windows")
+                    executor.shutdown(wait=False)
+                    executor = None
+                    results = [
+                        _run_window(task, config, site, round_index,
+                                    states[site], inboxes[site])
+                        for site in range(n_sites)
+                    ]
+            else:
+                results = [
+                    _run_window(task, config, site, round_index,
+                                states[site], inboxes[site])
+                    for site in range(n_sites)
+                ]
+
+            all_quiescent = True
+            n_messages = 0
+            for site in range(n_sites):  # site order: deterministic routing
+                result = results[site]
+                states[site] = result.state
+                if not result.quiescent:
+                    all_quiescent = False
+                for message in result.outbox:
+                    if message.deliver_round <= round_index:
+                        raise ValueError(
+                            f"site {site} round {round_index}: message "
+                            f"delivery round {message.deliver_round} is not "
+                            f"in the future (conservative lookahead "
+                            f"violated — forward latency must be >= the "
+                            f"window length)")
+                    if not 0 <= message.dest_site < n_sites:
+                        raise ValueError(
+                            f"site {site}: bad dest_site "
+                            f"{message.dest_site}")
+                    pending.setdefault(
+                        (message.deliver_round, message.dest_site),
+                        []).append(message.payload)
+                    n_messages += 1
+            if n_messages:
+                say(f"[conveyor] round {round_index}: {n_messages} "
+                    f"boundary message(s) in flight")
+            if all_quiescent and not pending:
+                return states
+            round_index += 1
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+
+__all__ = ["Message", "SiteTask", "WindowResult", "run_conveyor",
+           "shard_sites_from_env"]

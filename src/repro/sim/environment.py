@@ -36,6 +36,48 @@ invariants they must maintain are:
    entries with ``event._is_timer`` true (lanes never hold timers), so
    the lane pop path stays free of timer bookkeeping.
 
+Batched event draining (round two)
+----------------------------------
+The run loop no longer re-selects the globally smallest entry from
+scratch for every event.  It admits lane entries in **runs**: when a
+lane is the front, the loop snapshots the lane length and drains that
+many entries with one deque ``popleft`` each — no per-event tuple
+comparisons, no lane-head re-selection.  Three facts make a snapshot
+drain exact:
+
+* a lane is internally ``(time, priority, eid)``-sorted and every entry
+  in it carries ``time == now`` (the clock cannot advance past a queued
+  lane entry, because pops always take the global minimum);
+* anything *appended or heap-pushed during the run* carries a larger
+  ``eid`` than every snapshot entry, so it sorts after the whole
+  snapshot — with two exceptions handled explicitly below;
+* heap entries never beat the snapshot when ``heap[0] > lane[-1]`` held
+  at run start: pre-existing heap entries only leave the heap by being
+  popped, and new pushes sort after the snapshot (previous point).
+
+The two exceptions:
+
+* an **URGENT append during a NORMAL run** (``Initialize``,
+  ``interrupt``) preempts the rest of the run — URGENT at equal time
+  beats any eid.  The loop checks ``if urgent`` once per drained NORMAL
+  entry (a truthiness test, not a comparison) and abandons the run.
+* a **same-time timed entry** (``heap[0] < lane[-1]`` at run start, e.g.
+  a zero-delay ``Timer.arm`` shot from an earlier turn) interleaves by
+  eid; the loop falls back to classic one-entry selection until the
+  interleave clears.  URGENT runs need no per-entry check beyond this:
+  zero-delay pushes land in lanes, so a mid-run heap push is either
+  later in time or NORMAL priority — both sort after an URGENT
+  snapshot.
+
+When both lanes are empty the heap front pops directly: same-timestamp
+heap groups drain at one ``heappop`` per event with only two lane
+truthiness checks in between — no head tuple is materialised and no
+cross-lane comparison runs until a lane entry actually appears.  Pure
+timed traffic (the ``event_throughput`` bench) is interpreter-bound on
+this path; the compiled lane (``REPRO_SIM_COMPILED=1``, see
+``sim/_speedups.c`` and ARCHITECTURE.md) moves the whole drain loop out
+of the bytecode interpreter while reproducing this order bit-for-bit.
+
 Cancellable timers (lazy tombstones)
 ------------------------------------
 :class:`~repro.sim.timers.Timer` supports ``cancel()`` and re-arming
@@ -149,9 +191,16 @@ class Environment:
         # `env.timeout(delay, value=None)` and `env.event()` keep their
         # call signatures but cost one Python frame less per call.
         # `env.timeout` sits on the hottest path of the whole project
-        # (one call per simulated delay).
-        self.event = partial(Event, self)
-        self.timeout = partial(Timeout, self)
+        # (one call per simulated delay).  On the compiled lane the
+        # partials wrap the C construction paths, which produce genuine
+        # Event/Timeout instances with identical slot state and eid
+        # consumption.
+        if _SPEEDUPS is not None:
+            self.event = partial(_SPEEDUPS.make_event, self)
+            self.timeout = partial(_SPEEDUPS.make_timeout, self)
+        else:
+            self.event = partial(Event, self)
+            self.timeout = partial(Timeout, self)
 
     # -- introspection ---------------------------------------------------
     @property
@@ -266,23 +315,63 @@ class Environment:
         return None
 
     def step(self) -> None:
-        """Process the next event on the queue.
+        """Process the next scheduled front on the queue.
+
+        A *front* is every entry sharing the current smallest
+        ``(time, priority)`` pair at call time — one loop turn admits the
+        whole group (entries scheduled *by* the front's callbacks form
+        the next front; they are not admitted early).  For timed traffic
+        the front is almost always a single event, so ``step()`` keeps
+        its historical one-event feel; for zero-delay bursts it drains
+        the burst in one call, mirroring the batched run loop.
 
         Lazy timer tombstones are collected silently (they consume queue
-        entries but neither advance the clock nor count as the processed
-        event); a live timer firing *does* count as one step.
+        entries but neither advance the clock nor count as processed
+        events); a live timer firing *does* count as part of the front.
         """
+        # Front membership is fixed *before* any callback runs: same
+        # (time, priority) and an insertion id that already existed.
+        # Zero-delay events scheduled by the front's callbacks carry
+        # larger eids and form the next front.
         while True:
             entry = self._pop()
             if entry is None:
                 raise EmptySchedule()
             event = entry[3]
+            ceiling = self._eid
             if event._is_timer:
                 if event._pop_shot(entry):
-                    return  # fired: one event processed
+                    front_time, front_priority = entry[0], NORMAL
+                    break  # fired: the front opened with a timer shot
                 continue  # tombstone/deferral: keep looking
+            front_time, front_priority = entry[0], entry[1]
+            self._process_one(entry, event)
             break
+        while True:
+            head = self._head()
+            if (head is None or head[0] != front_time
+                    or head[1] != front_priority or head[2] > ceiling):
+                return
+            entry = self._pop()
+            event = entry[3]
+            if event._is_timer:
+                event._pop_shot(entry)  # fire/tombstone; deferrals re-push
+                continue                # with eids above the ceiling
+            self._process_one(entry, event)
 
+    def _head(self) -> Optional[Entry]:
+        """The globally next entry without popping it (``None`` if empty)."""
+        urgent, fifo, heap = self._urgent, self._fifo, self._heap
+        best: Optional[Entry] = urgent[0] if urgent else None
+        if fifo and (best is None or fifo[0] < best):
+            best = fifo[0]
+        if heap and (best is None or heap[0] < best):
+            best = heap[0]
+        return best
+
+    def _process_one(self, entry: Entry, event: Event) -> None:
+        """Process one popped (non-timer) entry — the generic slow path
+        shared by :meth:`step`; :meth:`run` inlines the same logic."""
         self._now = entry[0]
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:
@@ -327,45 +416,96 @@ class Environment:
             # timed and attributed (see repro.obs.profiler).
             return self._run_profiled(until)
 
+        if _SPEEDUPS is not None:
+            # Compiled lane: the C transcription of the loop below (same
+            # pop order, same trigger-chaining/failure handling — see
+            # sim/_speedups.c).  Profiled runs stay interpreted above:
+            # the profiler is an observation detour, not a hot path.
+            try:
+                _SPEEDUPS.drain(self)
+            except StopSimulation as stop:
+                if self.sanitizer is not None:
+                    self.sanitizer.on_run_exit()
+                return stop.value
+            if isinstance(until, Event) and not until.triggered:
+                raise SimulationError(
+                    "No scheduled events left but 'until' event was not "
+                    "triggered"
+                )
+            if self.sanitizer is not None:
+                self.sanitizer.on_run_exit()
+            return None
+
         # PERF: this is the single hottest loop of the whole project — it is
-        # Environment.step() inlined with the queue structures bound to
-        # locals, saving a method call, several attribute loads, and the
-        # per-event try/except of the step-until-EmptySchedule protocol.
-        # It additionally inlines the success fast path of
-        # Process._resume: a Process registers *itself* as the callback,
-        # so `cb.__class__ is Process` identifies a waiting process and
-        # the loop advances its generator without the _resume frame.
-        # Any semantic change here must be mirrored in step() and in
-        # Process._resume (the generic fallback both still use).
+        # the batched drain (see the module docstring) with the queue
+        # structures bound to locals, saving a method call, several
+        # attribute loads, and the per-event try/except of the
+        # step-until-EmptySchedule protocol.  Lane entries are admitted in
+        # snapshot *runs* (`run_n` entries left, popped via the bound
+        # `run_pop`), so the common zero-delay event costs one popleft and
+        # two truthiness checks instead of lane-head re-selection with
+        # tuple comparisons.  The loop additionally inlines the success
+        # fast path of Process._resume: a Process registers *itself* as
+        # the callback, so `cb.__class__ is Process` identifies a waiting
+        # process and the loop advances its generator without the _resume
+        # frame.  Any semantic change here must be mirrored in step(), in
+        # Process._resume (the generic fallback both still use), and in
+        # sim/_speedups.c (the compiled lane's C transcription of this
+        # exact loop).
         urgent, fifo, heap = self._urgent, self._fifo, self._heap
         hpop = heappop
+        upop = urgent.popleft
+        fpop = fifo.popleft
         proc_cls = Process
+        run_n = 0          # snapshot entries left in the current lane run
+        run_pop = upop     # bound popleft of the lane being drained
+        run_fifo = False   # NORMAL-lane runs yield to URGENT arrivals
         try:
             while True:
                 # -- select + pop the (time, priority, eid)-smallest entry.
                 # Lane pops skip the timer check entirely (lanes never hold
                 # timers — invariant 3 of the module docstring).
-                if urgent or fifo:
-                    entry = urgent[0] if urgent else None
-                    if fifo and (entry is None or fifo[0] < entry):
-                        entry = fifo[0]
-                        if heap and heap[0] < entry:
+                if run_n:
+                    run_n -= 1
+                    entry = run_pop()
+                    event = entry[3]
+                elif urgent:
+                    if heap and heap[0] < urgent[-1]:
+                        # Rare: a same-time timed entry interleaves with
+                        # the lane by eid — classic one-entry selection.
+                        if heap[0] < urgent[0]:
                             entry = hpop(heap)
                             event = entry[3]
                             if event._is_timer:
                                 event._pop_shot(entry)
                                 continue
                         else:
-                            fifo.popleft()
+                            entry = upop()
                             event = entry[3]
-                    elif heap and heap[0] < entry:
-                        entry = hpop(heap)
-                        event = entry[3]
-                        if event._is_timer:
-                            event._pop_shot(entry)
-                            continue
                     else:
-                        urgent.popleft()
+                        run_n = len(urgent) - 1
+                        if run_n:
+                            run_pop = upop
+                            run_fifo = False
+                        entry = upop()
+                        event = entry[3]
+                elif fifo:
+                    if heap and heap[0] < fifo[-1]:
+                        if heap[0] < fifo[0]:
+                            entry = hpop(heap)
+                            event = entry[3]
+                            if event._is_timer:
+                                event._pop_shot(entry)
+                                continue
+                        else:
+                            entry = fpop()
+                            event = entry[3]
+                    else:
+                        run_n = len(fifo) - 1
+                        if run_n:
+                            run_pop = fpop
+                            run_fifo = True
+                        entry = fpop()
                         event = entry[3]
                 elif heap:
                     entry = hpop(heap)
@@ -427,6 +567,14 @@ class Environment:
                     if isinstance(exc, BaseException):
                         raise exc
                     raise SimulationError(repr(exc))  # pragma: no cover
+
+                # -- run preemption: an URGENT arrival (Initialize,
+                # interrupt) during a NORMAL run outranks every remaining
+                # snapshot entry at equal time; abandon the run and
+                # re-select.  URGENT runs cannot be preempted (module
+                # docstring, "Batched event draining").
+                if run_n and run_fifo and urgent:
+                    run_n = 0
         except StopSimulation as stop:
             if self.sanitizer is not None:
                 self.sanitizer.on_run_exit()
@@ -520,3 +668,23 @@ def _stop_simulate(event: Event) -> None:
 # import order acyclic: events -> timers/process -> environment).
 from .process import Process, ProcessGenerator  # noqa: E402  (cycle-free: see note)
 from .timers import Timer  # noqa: E402
+
+# Compiled-lane hookup (after every kernel class exists): hand the C
+# module the classes, sentinels and slot layouts it mirrors.  `_SPEEDUPS`
+# stays None on the interpreted lane — the branches above vanish into
+# two pointer checks per Environment.
+from ._compiled import SPEEDUPS as _SPEEDUPS  # noqa: E402
+from .events import PENDING as _PENDING  # noqa: E402
+
+if _SPEEDUPS is not None:
+    _SPEEDUPS._bind({
+        "Environment": Environment,
+        "Event": Event,
+        "Timeout": Timeout,
+        "Process": Process,
+        "Timer": Timer,
+        "SimulationError": SimulationError,
+        "PENDING": _PENDING,
+        "NORMAL": NORMAL,
+        "deque": deque,
+    })

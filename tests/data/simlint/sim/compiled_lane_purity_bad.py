@@ -1,0 +1,19 @@
+"""Fixture: compiled-lane-purity fires on module-level imports that
+reach outside the kernel's substrate closure."""
+import json
+
+from repro.core import broker
+from repro.obs import telemetry  # would also cross-fire obs rule, but
+# the sim/ path is not an instrumented layer, so only purity fires
+
+from .events import Event  # relative: fine, must NOT fire
+
+
+def lazy():
+    # Function-level imports are exempt (lazy by construction).
+    import subprocess
+    return subprocess
+
+
+def use():
+    return json, broker, telemetry, Event

@@ -1,0 +1,8 @@
+"""Fixture: deliberate substrate extensions carry suppressions."""
+import json  # simlint: disable=compiled-lane-purity -- deliberate substrate extension
+
+from repro.core import broker  # simlint: disable=compiled-lane-purity -- fixture: documented exception
+
+
+def use():
+    return json, broker

@@ -32,6 +32,8 @@ from repro.sim import (
 
 FIXTURE = os.path.join(os.path.dirname(__file__), "data",
                        "kernel_event_order.json")
+BURST_FIXTURE = os.path.join(os.path.dirname(__file__), "data",
+                             "kernel_burst_order.json")
 
 
 def run_mixed_workload() -> List[Tuple[float, str]]:
@@ -161,13 +163,84 @@ def run_mixed_workload() -> List[Tuple[float, str]]:
     return log
 
 
+def run_burst_workload(sanitize: bool = False) -> List[Tuple[float, str]]:
+    """Same-timestamp burst: hundreds of events landing on one tick.
+
+    This is the worst case for the batched-front drain *and* for the
+    compiled lane's C heap: every discriminating feature of the total
+    order except time itself — FIFO eid ties, URGENT vs NORMAL at one
+    instant, timers firing into the tie, zero-delay chains spawned from
+    inside the burst — has to resolve identically on every lane.
+    """
+    env = Environment(sanitize=sanitize)
+    log: List[Tuple[float, str]] = []
+
+    def note(tag: str) -> None:
+        log.append((round(env.now, 9), tag))
+
+    # 120 timeouts all expiring at t=1.0, scheduled in shuffled eid order.
+    order = list(range(120))
+    shuffle = RandomStreams(77).stream("burst/shuffle")
+    shuffle.shuffle(order)
+
+    def tied(i: int):
+        yield env.timeout(1.0)
+        note(f"tied:{i}")
+        # Every 10th tie spawns a zero-delay chain *inside* the burst:
+        # those run at t=1.0 too, interleaved by eid with later ties.
+        if i % 10 == 0:
+            for j in range(3):
+                ev = env.event()
+                ev.succeed(j)
+                got = yield ev
+                note(f"tied-chain:{i}:{got}")
+
+    for i in order:
+        env.process(tied(i), name=f"tied-{i}")
+
+    # A Timer armed to fire exactly at the burst tick.
+    from repro.sim import Timer
+
+    t = Timer(env, callback=lambda _t: note("timer:burst"))
+    t.arm(1.0)
+
+    # An URGENT interrupt landing mid-burst: the interrupter also wakes
+    # at t=1.0, and its interrupt must preempt the remaining NORMAL ties.
+    def sleeper():
+        try:
+            yield env.timeout(5.0)
+            note("sleeper:overslept")
+        except Interrupt as intr:
+            note(f"interrupted:{intr.cause}")
+
+    victim = env.process(sleeper(), name="burst-sleeper")
+
+    def interrupter():
+        yield env.timeout(1.0)
+        note("interrupter:awake")
+        victim.interrupt(cause="mid-burst")
+
+    env.process(interrupter(), name="burst-interrupter")
+
+    env.run()
+    note("end")
+    if sanitize:
+        env.sanitizer.assert_clean()
+    return log
+
+
 def main() -> None:
-    log = run_mixed_workload()
     os.makedirs(os.path.dirname(FIXTURE), exist_ok=True)
+    log = run_mixed_workload()
     with open(FIXTURE, "w", encoding="utf-8") as fh:
         json.dump(log, fh, indent=0)
         fh.write("\n")
     print(f"wrote {FIXTURE} ({len(log)} records)")
+    burst = run_burst_workload()
+    with open(BURST_FIXTURE, "w", encoding="utf-8") as fh:
+        json.dump(burst, fh, indent=0)
+        fh.write("\n")
+    print(f"wrote {BURST_FIXTURE} ({len(burst)} records)")
 
 
 if __name__ == "__main__":

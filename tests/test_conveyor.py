@@ -1,0 +1,168 @@
+"""The sharded-site conveyor (repro.runner.conveyor) and the sited
+scale-campaign lane built on it.
+
+The contract under test is the conveyor's determinism argument: for any
+worker count, rounds are barriers, results gather in site order, and
+message routing is origin-ordered — so a parallel run folds to the exact
+same states as a serial run, and the sited cell is cacheable like any
+other cell.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.experiments.scale_campaign import (
+    ScaleCampaignConfig,
+    _run_sited_cell,
+    _sited_window,
+    merge_cells,
+    plan_cells,
+    run_cell,
+)
+from repro.runner.conveyor import (
+    Message,
+    WindowResult,
+    run_conveyor,
+    shard_sites_from_env,
+)
+
+
+# -- toy site tasks (module-level: picklable into pool workers) -----------
+
+def _counting_task(config, site, round_index, state, inbox):
+    """Each site counts down `config` rounds, pinging its ring neighbor."""
+    if state is None:
+        state = {"remaining": config, "seen": []}
+    state["seen"].extend(inbox)
+    state["remaining"] -= 1
+    outbox = []
+    if state["remaining"] > 0:
+        outbox.append(Message(deliver_round=round_index + 1,
+                              dest_site=(site + 1) % 3,
+                              payload=(site, round_index)))
+    return WindowResult(state=state, outbox=outbox,
+                        quiescent=state["remaining"] <= 0)
+
+
+def _bad_lookahead_task(config, site, round_index, state, inbox):
+    return WindowResult(
+        state=0,
+        outbox=[Message(deliver_round=round_index, dest_site=0, payload=1)])
+
+
+def _bad_dest_task(config, site, round_index, state, inbox):
+    return WindowResult(
+        state=0,
+        outbox=[Message(deliver_round=round_index + 1, dest_site=99,
+                        payload=1)])
+
+
+def _never_quiescent_task(config, site, round_index, state, inbox):
+    return WindowResult(state=0, quiescent=False)
+
+
+class TestRunConveyor:
+    def test_serial_equals_parallel(self):
+        """Worker fan-out is a scheduling knob: states are identical."""
+        serial = run_conveyor(_counting_task, 4, 3, workers=1)
+        fanned = run_conveyor(_counting_task, 4, 3, workers=3)
+        assert fanned == serial
+
+    def test_messages_route_in_origin_order(self):
+        states = run_conveyor(_counting_task, 4, 3, workers=1)
+        # Site 1 hears from site 0 every round site 0 was still active.
+        assert states[1]["seen"] == [(0, 0), (0, 1), (0, 2)]
+
+    def test_lookahead_violation_rejected(self):
+        with pytest.raises(ValueError, match="conservative lookahead"):
+            run_conveyor(_bad_lookahead_task, None, 2, workers=1)
+
+    def test_dest_bounds_validated(self):
+        with pytest.raises(ValueError, match="bad dest_site"):
+            run_conveyor(_bad_dest_task, None, 2, workers=1)
+
+    def test_runaway_guard(self):
+        with pytest.raises(RuntimeError, match="max_rounds"):
+            run_conveyor(_never_quiescent_task, None, 2, workers=1,
+                         max_rounds=5)
+
+    def test_invalid_site_count(self):
+        with pytest.raises(ValueError, match="n_sites"):
+            run_conveyor(_counting_task, 1, 0)
+
+    def test_shard_sites_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARD_SITES", raising=False)
+        assert shard_sites_from_env() == 1
+        monkeypatch.setenv("REPRO_SHARD_SITES", "4")
+        assert shard_sites_from_env() == 4
+        monkeypatch.setenv("REPRO_SHARD_SITES", "garbage")
+        assert shard_sites_from_env() == 1
+        monkeypatch.setenv("REPRO_SHARD_SITES", "-2")
+        assert shard_sites_from_env() == 1
+
+
+def _quick_config(**overrides):
+    base = dict(jobs=2_000, shards=2, sites=3, site_capacity=16)
+    base.update(overrides)
+    return ScaleCampaignConfig(**base)
+
+
+class TestSitedLane:
+    def test_conservation_and_forwarding(self):
+        """Every job completes somewhere; a starved ring forwards work."""
+        payload = _run_sited_cell(_quick_config())
+        sites = payload["sites"]
+        assert sum(s["completed"] for s in sites) == 2_000
+        assert sum(s["forwarded"] for s in sites) > 0
+        assert (sum(s["forwarded"] for s in sites)
+                == sum(s["received"] for s in sites))
+
+    def test_serial_parallel_cell_payloads_identical(self, monkeypatch):
+        config = _quick_config()
+        monkeypatch.delenv("REPRO_SHARD_SITES", raising=False)
+        serial = _run_sited_cell(config)
+        monkeypatch.setenv("REPRO_SHARD_SITES", "3")
+        fanned = _run_sited_cell(config)
+        assert fanned == serial
+
+    def test_ample_capacity_never_forwards(self):
+        payload = _run_sited_cell(_quick_config(site_capacity=10_000))
+        assert sum(s["forwarded"] for s in payload["sites"]) == 0
+        assert sum(s["completed"] for s in payload["sites"]) == 2_000
+
+    def test_hop_cap_terminates_saturated_ring(self):
+        """One slot per site: jobs lap the ring once, then settle."""
+        payload = _run_sited_cell(_quick_config(jobs=300, site_capacity=1))
+        sites = payload["sites"]
+        assert sum(s["completed"] for s in sites) == 300
+
+    def test_forward_latency_must_cover_window(self):
+        config = _quick_config(forward_latency=10.0, window=600.0)
+        with pytest.raises(ValueError, match="lookahead"):
+            _run_sited_cell(config)
+
+    def test_window_state_is_deterministic_pure_data(self):
+        """Replaying a window from copied state yields equal results."""
+        config = _quick_config()
+        result = _sited_window(config, 0, 0, None, [])
+        state = copy.deepcopy(result.state)
+        again = _sited_window(config, 0, 1, copy.deepcopy(state), [])
+        twice = _sited_window(config, 0, 1, copy.deepcopy(state), [])
+        assert again.state == twice.state
+        assert again.outbox == twice.outbox
+
+    def test_plan_includes_sited_cell_and_merge_checks_it(self):
+        config = _quick_config()
+        assert ("sited",) in plan_cells(config)
+        payloads = {key: run_cell(config, key) for key in plan_cells(config)}
+        result = merge_cells(config, payloads)
+        names = [c.description for c in result.checks]
+        assert any("conveyor conserves jobs" in n for n in names)
+        assert result.passed
+
+    def test_sites_zero_disables_lane(self):
+        config = _quick_config(sites=0)
+        assert all(key != ("sited",) for key in plan_cells(config))

@@ -13,8 +13,18 @@ before it corrupts an experiment render.
 from __future__ import annotations
 
 import json
+import os
+import subprocess
+import sys
 
-from .kernel_workload import FIXTURE, run_mixed_workload
+import pytest
+
+from repro.sim._compiled import compiled_lane_active
+
+from .kernel_workload import BURST_FIXTURE, FIXTURE, run_mixed_workload, \
+    run_burst_workload
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def test_mixed_workload_replays_seed_event_order():
@@ -31,3 +41,92 @@ def test_mixed_workload_replays_seed_event_order():
 def test_mixed_workload_is_self_deterministic():
     """Two in-process runs must agree exactly (no hidden global state)."""
     assert run_mixed_workload() == run_mixed_workload()
+
+
+# -- same-timestamp burst: one tick, every tie-breaking rule at once ------
+
+def _run_in_lane(workload: str, compiled: bool,
+                 sanitize: bool = False) -> list:
+    """Replay a workload in a fresh interpreter on the chosen lane.
+
+    Lane selection is an import-time switch, so cross-lane comparison
+    needs a subprocess per lane; the log comes back as JSON on stdout.
+    """
+    env = dict(os.environ,
+               PYTHONPATH=os.path.join(REPO_ROOT, "src"),
+               REPRO_SIM_COMPILED="1" if compiled else "0")
+    call = f"{workload}(sanitize=True)" if sanitize else f"{workload}()"
+    code = (
+        f"import json, sys\n"
+        f"from tests.kernel_workload import {workload}\n"
+        f"from repro.sim._compiled import compiled_lane_active\n"
+        f"log = {call}\n"
+        f"json.dump({{'compiled': compiled_lane_active(), "
+        f"'log': log}}, sys.stdout)\n"
+    )
+    proc = subprocess.run([sys.executable, "-c", code], env=env,
+                          cwd=REPO_ROOT, capture_output=True, text=True,
+                          timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["compiled"] is compiled, (
+        "lane selection failed — is the extension built? "
+        "(python tools/build_compiled.py)")
+    return [tuple(rec) for rec in payload["log"]]
+
+
+def _compiled_lane_available() -> bool:
+    if compiled_lane_active():
+        return True
+    import glob
+    return bool(glob.glob(os.path.join(
+        REPO_ROOT, "src", "repro", "sim", "_speedups*.so")))
+
+
+needs_compiled = pytest.mark.skipif(
+    not _compiled_lane_available(),
+    reason="compiled lane not built (python tools/build_compiled.py)")
+
+
+def test_burst_replays_pinned_fixture():
+    """The batched in-process lane replays the pinned burst order."""
+    with open(BURST_FIXTURE) as fh:
+        expected = [tuple(rec) for rec in json.load(fh)]
+    got = run_burst_workload()
+    assert got == expected
+
+
+def test_burst_is_sanitizer_clean():
+    """The burst leaves no leaked processes/timers/events behind."""
+    run_burst_workload(sanitize=True)  # assert_clean() raises on leaks
+
+
+@needs_compiled
+def test_burst_identical_across_lanes():
+    """interpreted == compiled == batched, record for record.
+
+    Three replays of the same-timestamp burst: the in-process batched
+    run (this process), a fresh interpreted subprocess, and a fresh
+    REPRO_SIM_COMPILED=1 subprocess.  Any divergence in the
+    (time, priority, eid) total order between the Python drain and the
+    C drain shows up here as a log diff.
+    """
+    batched = run_burst_workload()
+    interpreted = _run_in_lane("run_burst_workload", compiled=False)
+    compiled = _run_in_lane("run_burst_workload", compiled=True)
+    assert interpreted == batched
+    assert compiled == batched
+
+
+@needs_compiled
+def test_burst_compiled_lane_sanitizer_clean():
+    """The C drain honors the sanitizer hooks too (no silent leaks)."""
+    log = _run_in_lane("run_burst_workload", compiled=True, sanitize=True)
+    assert log == run_burst_workload()
+
+
+@needs_compiled
+def test_mixed_workload_identical_across_lanes():
+    """The PR-3 fixture workload also replays identically on the C lane."""
+    compiled = _run_in_lane("run_mixed_workload", compiled=True)
+    assert compiled == run_mixed_workload()

@@ -49,6 +49,7 @@ EXPECTED_MIN = {
     "swallowed-error": 2,
     "obs-direct-import": 8,
     "broker-factory": 4,
+    "compiled-lane-purity": 3,
 }
 
 
@@ -58,7 +59,7 @@ def _fixture(name: str) -> str:
         return flat
     # Path-dependent rules (layering) keep their fixtures under a subdir
     # named after the restricted path segment, e.g. core/, experiments/.
-    for segment in ("core", "experiments"):
+    for segment in ("core", "experiments", "sim"):
         nested = os.path.join(FIXTURES, segment, name)
         if os.path.exists(nested):
             return nested

@@ -264,9 +264,14 @@ class TestScaleCli:
                          "--rounds", "2", "--json", path])
         assert rc == 0
         payload = json.loads((tmp_path / "BENCH_scale.json").read_text())
-        assert payload["schema"] == "repro-bench-scale/1"
+        assert payload["schema"] == "repro-bench-scale/2"
         results = payload["results"]
         assert results["jobs"] == 3000
         assert results["jobs_per_sec"] > 0
         assert results["traced_peak_bytes"] > 0
         assert results["ru_maxrss_kb"] > 0
+        conveyor = payload["conveyor"]
+        assert conveyor["jobs"] == 3000
+        assert conveyor["serial_min_s"] > 0
+        assert conveyor["parallel_min_s"] > 0
+        assert conveyor["workers"] >= 2

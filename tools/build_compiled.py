@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Build the compiled kernel lane (repro.sim._speedups) in place.
+
+Dependency-free on purpose: invokes the platform C compiler directly with
+the include/suffix paths from ``sysconfig``, so it works in hermetic
+containers without pip, network access, or a build backend.  ``pip
+install .[compiled]`` goes through setup.py instead and ends up in the
+same place.
+
+Usage::
+
+    python tools/build_compiled.py          # build (no-op if up to date)
+    python tools/build_compiled.py --force  # rebuild
+    python tools/build_compiled.py --check  # exit 0 iff built + importable
+
+The extension lands next to its source as
+``src/repro/sim/_speedups.<abi>.so`` and is selected at runtime only when
+``REPRO_SIM_COMPILED=1`` is set (see repro/sim/_compiled.py).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shlex
+import subprocess
+import sys
+import sysconfig
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SOURCE = os.path.join(REPO_ROOT, "src", "repro", "sim", "_speedups.c")
+
+
+def output_path() -> str:
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    return os.path.join(REPO_ROOT, "src", "repro", "sim",
+                        f"_speedups{suffix}")
+
+
+def needs_build(out: str) -> bool:
+    if not os.path.exists(out):
+        return True
+    return os.path.getmtime(SOURCE) > os.path.getmtime(out)
+
+
+def build(force: bool = False) -> int:
+    out = output_path()
+    if not force and not needs_build(out):
+        print(f"up to date: {os.path.relpath(out, REPO_ROOT)}")
+        return 0
+    cc = sysconfig.get_config_var("CC") or os.environ.get("CC") or "cc"
+    include = sysconfig.get_paths()["include"]
+    cmd = [
+        *shlex.split(cc),
+        "-O2",
+        "-fPIC",
+        "-shared",
+        "-Wall",
+        f"-I{include}",
+        SOURCE,
+        "-o",
+        out,
+    ]
+    print("+", " ".join(shlex.quote(c) for c in cmd))
+    proc = subprocess.run(cmd)
+    if proc.returncode != 0:
+        print("build failed", file=sys.stderr)
+        return proc.returncode
+    print(f"built: {os.path.relpath(out, REPO_ROOT)}")
+    return 0
+
+
+def check() -> int:
+    env = dict(os.environ, REPRO_SIM_COMPILED="1",
+               PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    code = (
+        "from repro.sim._compiled import compiled_lane_active;"
+        "import sys; sys.exit(0 if compiled_lane_active() else 1)"
+    )
+    proc = subprocess.run([sys.executable, "-c", code], env=env)
+    if proc.returncode == 0:
+        print("compiled lane: active")
+    else:
+        print("compiled lane: NOT active", file=sys.stderr)
+    return proc.returncode
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--force", action="store_true",
+                        help="rebuild even if up to date")
+    parser.add_argument("--check", action="store_true",
+                        help="verify the lane imports under "
+                             "REPRO_SIM_COMPILED=1")
+    args = parser.parse_args()
+    if args.check:
+        return check()
+    return build(force=args.force)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
