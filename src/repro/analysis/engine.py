@@ -57,7 +57,8 @@ __all__ = [
     "render_findings",
 ]
 
-#: ``# simlint: disable=a,b -- reason`` / ``# simlint: disable-file=a,b``.
+#: Matches ``simlint: disable[-file]=<rules>`` with an optional
+#: free-form ``-- reason`` tail.
 _SUPPRESS_RE = re.compile(
     r"#\s*simlint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
     r"(?P<rules>[A-Za-z0-9_,\- ]+)"
@@ -123,10 +124,18 @@ class Rule:
 
 @dataclass
 class _Suppressions:
-    """Parsed suppression directives for one file."""
+    """Parsed suppression directives for one file.
+
+    ``directives`` keeps the raw parsed entries — ``(line, scope,
+    rules)`` with scope ``"disable"`` or ``"disable-file"`` — so the
+    suppression audit (``repro lint --audit-suppressions``) can match
+    each pragma against the findings it actually silenced.
+    """
 
     file_level: Set[str] = field(default_factory=set)
     by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    directives: List[Tuple[int, str, Tuple[str, ...]]] = field(
+        default_factory=list)
 
     def active(self, rule_id: str, line: int) -> bool:
         if "all" in self.file_level or rule_id in self.file_level:
@@ -135,26 +144,57 @@ class _Suppressions:
         return rules is not None and ("all" in rules or rule_id in rules)
 
 
+def _comment_lines(lines: Sequence[str]) -> Optional[Set[int]]:
+    """Line numbers carrying a real ``#`` comment token.
+
+    Distinguishes live directives from pragma-*shaped* text inside
+    docstrings and string literals (rule documentation, test sources),
+    which must neither suppress anything nor count in the audit.
+    Returns None when tokenisation fails (the caller then falls back to
+    honouring every matching line — over-suppressing beats silently
+    dropping a real pragma in a file the tokenizer chokes on).
+    """
+    import io
+    import tokenize
+    found: Set[int] = set()
+    try:
+        reader = io.StringIO("\n".join(lines) + "\n").readline
+        for tok in tokenize.generate_tokens(reader):
+            if tok.type == tokenize.COMMENT:
+                found.add(tok.start[0])
+    except (tokenize.TokenError, IndentationError, SyntaxError,
+            ValueError):
+        return None
+    return found
+
+
 def _parse_suppressions(lines: Sequence[str]) -> _Suppressions:
     sup = _Suppressions()
+    comments = _comment_lines(lines)
     for lineno, line in enumerate(lines, start=1):
         if "simlint" not in line:
+            continue
+        if comments is not None and lineno not in comments:
             continue
         match = _SUPPRESS_RE.search(line)
         if match is None:
             continue
-        # Cut the free-form justification tail ("rule-a, rule-b -- why"):
-        # rule ids never contain whitespace, so the first space inside a
-        # comma-separated token ends the id.
+        # Cut the free-form justification tail ("rule-a -- why"): the
+        # character class admits hyphens and spaces, so a comma-bearing
+        # reason would otherwise leak extra pseudo-rule tokens.
         rules = set()
-        for token in match.group("rules").split(","):
+        for token in match.group("rules").split("--", 1)[0].split(","):
             token = token.strip()
             if token:
                 rules.add(token.split()[0])
+        if not rules:
+            continue
         if match.group("scope") == "disable-file":
             sup.file_level |= rules
         else:
             sup.by_line.setdefault(lineno, set()).update(rules)
+        sup.directives.append(
+            (lineno, match.group("scope"), tuple(sorted(rules))))
     return sup
 
 
@@ -166,6 +206,8 @@ class LintContext:
         self.source = source
         self.lines: List[str] = source.splitlines()
         self.findings: List[Finding] = []
+        #: Findings silenced by a suppression directive (audit fodder).
+        self.suppressed: List[Finding] = []
         #: Enclosing ``FunctionDef``/``AsyncFunctionDef`` nodes, outermost
         #: first.  ``func_stack[-1]`` is the current function.
         self.func_stack: List[ast.AST] = []
@@ -199,12 +241,14 @@ class LintContext:
     def report(self, rule: Rule, node: ast.AST, message: str) -> None:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
-        if self._suppressions.active(rule.id, line):
-            return
-        self.findings.append(Finding(
+        finding = Finding(
             rule=rule.id, category=rule.category, path=self.relpath,
             line=line, col=col, message=message,
-            snippet=self.line_at(line)))
+            snippet=self.line_at(line))
+        if self._suppressions.active(rule.id, line):
+            self.suppressed.append(finding)
+            return
+        self.findings.append(finding)
 
 
 class _Walker(ast.NodeVisitor):
@@ -302,6 +346,43 @@ def lint_paths(paths: Iterable[str], rules: Sequence[Rule],
         findings.extend(lint_file(path, rules, root=root))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
+
+
+@dataclass
+class FileLintResult:
+    """Per-file lint outcome with suppression detail (for the audit)."""
+
+    relpath: str
+    findings: List[Finding]
+    suppressed: List[Finding]
+    suppressions: _Suppressions
+
+
+def lint_files_detailed(files: Sequence[str], rules: Sequence[Rule],
+                        root: Optional[str] = None) -> List[FileLintResult]:
+    """Like :func:`lint_paths` over explicit files, keeping per-file
+    suppression state so ``--audit-suppressions`` can match directives
+    against the findings they silenced."""
+    out: List[FileLintResult] = []
+    for path in files:
+        relpath = os.path.relpath(path, root) if root else path
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        ctx = LintContext(relpath, source)
+        try:
+            tree = ast.parse(source, filename=relpath)
+        except SyntaxError as exc:
+            ctx.findings.append(Finding(
+                rule="syntax-error", category="parse", path=relpath,
+                line=exc.lineno or 1, col=exc.offset or 0,
+                message=f"file does not parse: {exc.msg}"))
+        else:
+            _Walker(rules, ctx).visit(tree)
+        ctx.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        out.append(FileLintResult(
+            relpath=relpath, findings=ctx.findings,
+            suppressed=ctx.suppressed, suppressions=ctx._suppressions))
+    return out
 
 
 # -- output -------------------------------------------------------------

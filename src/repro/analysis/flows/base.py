@@ -1,0 +1,41 @@
+"""FlowRule base class, shared by every flow rule module.
+
+Kept separate from :mod:`.engine` so rule modules can subclass without
+importing the registry that in turn imports them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..engine import Finding
+from .graph import ModuleSummary, ProgramGraph
+
+__all__ = ["FlowRule"]
+
+
+class FlowRule:
+    """A whole-program rule: sees the linked graph, yields findings.
+
+    Mirrors the per-file :class:`~repro.analysis.engine.Rule` contract
+    (stable ``id``, ``category``, deterministic output) but ``check``
+    receives the :class:`~.graph.ProgramGraph` instead of one AST.
+    Suppression pragmas are honoured by the flow engine after the rule
+    runs, so rules just yield.
+    """
+
+    id: str = ""
+    category: str = "flows"
+
+    def check(self, graph: ProgramGraph) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, summary: ModuleSummary, line: int,
+                message: str, col: int = 0) -> Finding:
+        return Finding(rule=self.id, category=self.category,
+                       path=summary.relpath, line=line, col=col,
+                       message=message, snippet="")
+
+    def doc_summary(self) -> str:
+        doc = (self.__doc__ or "").strip().splitlines()
+        return doc[0].rstrip(".") if doc else ""

@@ -1,0 +1,184 @@
+"""Protocol drift: structural surface checks ``runtime_checkable`` skips.
+
+``isinstance(broker, BrokerProtocol)`` only verifies that the methods
+*exist* — ``runtime_checkable`` explicitly does not compare signatures.
+A broker whose ``cancel`` renames ``reason`` or drops its default still
+passes the runtime check and only fails when a keyword call reaches it.
+Likewise ``ExperimentSpec`` is a plain dataclass of callables: nothing
+at registration time verifies the callables take the arguments the
+engine will pass (``plan(config)``, ``run_cell(config, key)``,
+``merge(config, payloads)``).
+
+This rule closes both gaps statically:
+
+* every ``@runtime_checkable`` Protocol class in the universe is
+  matched against its structural implementers (classes that define all
+  of its methods, directly or via in-universe MRO) and each method
+  signature is compared — positional parameter names in order, which
+  parameters carry defaults, and the default expressions themselves;
+* every ``register(ExperimentSpec(...))`` site is checked for callable
+  arity against the engine's calling convention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..engine import Finding
+from .base import FlowRule
+from .graph import (ClassSummary, FunctionSummary, ModuleSummary,
+                    ProgramGraph)
+
+__all__ = ["ProtocolDriftRule"]
+
+#: The engine's calling convention per spec role: (role, n_positional).
+_SPEC_ARITIES = (("plan", 1), ("run_cell", 2), ("merge", 2))
+
+
+def _is_protocol(klass: ClassSummary) -> bool:
+    if not any(base.split(".")[-1] == "Protocol" for base in klass.bases):
+        return False
+    return any(dec.split(".")[-1] == "runtime_checkable"
+               for dec in klass.decorators)
+
+
+def _method_map(graph: ProgramGraph, module: str, class_name: str,
+                ) -> Dict[str, Tuple[str, FunctionSummary]]:
+    """name -> (defining module, summary), nearest-in-MRO wins."""
+    out: Dict[str, Tuple[str, FunctionSummary]] = {}
+    for summary, klass in graph.mro(module, class_name):
+        for name, fn in klass.methods.items():
+            out.setdefault(name, (summary.module, fn))
+    return out
+
+
+def _positional(fn: FunctionSummary) -> List[str]:
+    params = list(fn.params)
+    if params and params[0] in ("self", "cls"):
+        params = params[1:]
+    return params
+
+
+class ProtocolDriftRule(FlowRule):
+    """Implementer signatures must match their Protocol, member by member."""
+
+    id = "flow-protocol-drift"
+    category = "contracts"
+
+    def check(self, graph: ProgramGraph) -> Iterable[Finding]:
+        protocols = [
+            (summary, klass)
+            for summary in graph.summaries()
+            for klass in summary.classes.values()
+            if _is_protocol(klass)
+        ]
+        for proto_summary, proto in protocols:
+            yield from self._check_protocol(graph, proto_summary, proto)
+        for summary in graph.summaries():
+            for reg in summary.spec_regs:
+                yield from self._check_spec_arity(graph, summary, reg)
+
+    # -- Protocol implementers ------------------------------------------
+    def _check_protocol(self, graph: ProgramGraph,
+                        proto_summary: ModuleSummary,
+                        proto: ClassSummary) -> Iterable[Finding]:
+        proto_methods = {name: fn for name, fn in proto.methods.items()
+                         if not name.startswith("_")}
+        if not proto_methods:
+            return
+        for summary in graph.summaries():
+            for klass in summary.classes.values():
+                if klass is proto or _is_protocol(klass):
+                    continue
+                methods = _method_map(graph, summary.module, klass.name)
+                if not all(name in methods for name in proto_methods):
+                    continue  # not a structural implementer
+                for name, proto_fn in sorted(proto_methods.items()):
+                    impl_module, impl_fn = methods[name]
+                    impl_summary = graph.module(impl_module)
+                    if impl_summary is None:
+                        continue
+                    yield from self._compare(
+                        impl_summary, klass, proto.name, name,
+                        proto_fn, impl_fn)
+
+    def _compare(self, summary: ModuleSummary, klass: ClassSummary,
+                 proto_name: str, method: str,
+                 proto_fn: FunctionSummary,
+                 impl_fn: FunctionSummary) -> Iterable[Finding]:
+        where = f"{klass.name}.{method}"
+        proto_params = _positional(proto_fn)
+        impl_params = _positional(impl_fn)
+        if impl_fn.has_vararg and impl_fn.has_kwarg and not impl_params:
+            return  # pure (*args, **kwargs) forwarder: can't drift
+        for idx, pname in enumerate(proto_params):
+            if idx >= len(impl_params):
+                if impl_fn.has_vararg:
+                    break
+                yield self.finding(
+                    summary, impl_fn.line,
+                    f"protocol drift: {where} is missing parameter "
+                    f"{pname!r} declared by {proto_name}.{method}")
+                continue
+            iname = impl_params[idx]
+            if iname != pname:
+                yield self.finding(
+                    summary, impl_fn.line,
+                    f"protocol drift: {where} parameter {idx + 1} is "
+                    f"{iname!r} but {proto_name}.{method} declares "
+                    f"{pname!r}; keyword callers will break")
+                continue
+            pdefault = proto_fn.defaults.get(pname)
+            idefault = impl_fn.defaults.get(iname)
+            if pdefault is not None and idefault is None:
+                yield self.finding(
+                    summary, impl_fn.line,
+                    f"protocol drift: {where} drops the default for "
+                    f"{pname!r} ({proto_name}.{method} declares "
+                    f"{pname}={pdefault})")
+            elif pdefault is not None and idefault != pdefault:
+                yield self.finding(
+                    summary, impl_fn.line,
+                    f"protocol drift: {where} default {pname}="
+                    f"{idefault} differs from {proto_name}.{method} "
+                    f"({pname}={pdefault})")
+        # Extra *required* params beyond the protocol surface break
+        # protocol-typed call sites; extra optional ones are fine.
+        for extra in impl_params[len(proto_params):]:
+            if extra not in impl_fn.defaults:
+                yield self.finding(
+                    summary, impl_fn.line,
+                    f"protocol drift: {where} requires parameter "
+                    f"{extra!r} that {proto_name}.{method} does not "
+                    "declare")
+
+    # -- ExperimentSpec callables ---------------------------------------
+    def _check_spec_arity(self, graph: ProgramGraph,
+                          summary: ModuleSummary,
+                          reg) -> Iterable[Finding]:
+        exp = reg.kwarg("experiment_id") or "?"
+        for role, arity in _SPEC_ARITIES:
+            target = reg.kwarg(role)
+            if not target:
+                continue
+            resolved = graph.find_function(summary.module, target)
+            if resolved is None:
+                continue
+            impl_summary, fn = resolved
+            params = _positional(fn)
+            required = [p for p in params if p not in fn.defaults]
+            required_kwonly = [p for p in fn.kwonly
+                               if p not in fn.defaults]
+            if len(required) > arity or required_kwonly:
+                yield self.finding(
+                    summary, reg.line,
+                    f"spec drift: ExperimentSpec({exp}).{role} = "
+                    f"{target} requires "
+                    f"{len(required) + len(required_kwonly)} "
+                    f"argument(s) but the engine passes {arity}")
+            elif len(params) < arity and not fn.has_vararg:
+                yield self.finding(
+                    summary, reg.line,
+                    f"spec drift: ExperimentSpec({exp}).{role} = "
+                    f"{target} accepts {len(params)} argument(s) but "
+                    f"the engine passes {arity}")

@@ -1,0 +1,204 @@
+"""Cache-key completeness: what ``run_cell`` reads, the key must hash.
+
+The PR-8 staleness class: a cell function starts reading a config
+field that ``to_key_dict()`` excludes (or that the dataclass never
+declared), two configs differing only in that field collide on the same
+cache key, and the second run silently serves the first run's payload.
+PR 8 papered over one instance with a manual ``cache_salt`` bump; this
+rule makes the whole class a lint failure.
+
+For every ``register(ExperimentSpec(...))`` site in the graph the rule
+resolves the config class and the ``run_cell`` entry, then taints the
+config parameter and follows it through the call graph (positional and
+keyword argument flow, memoised).  Each attribute read through a
+tainted name is checked against the config class surface:
+
+* reads of fields listed in ``NON_KEY_FIELDS`` are findings — the cell
+  depends on state the key does not hash — except fields the runner
+  fingerprints out-of-band (``calibration``, hashed separately by
+  :mod:`repro.runner.cache`);
+* reads of attributes that are neither dataclass fields, methods,
+  class attributes, nor inherited (in-universe MRO) members are
+  findings — the value cannot be in the key because the config never
+  declared it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..engine import Finding
+from .base import FlowRule
+from .graph import (FunctionSummary, ModuleSummary, ProgramGraph,
+                    SpecReg)
+
+__all__ = ["CacheKeyRule", "config_surface", "taint_reads"]
+
+#: NON_KEY fields the runner hashes out-of-band (see runner/cache.py:
+#: the calibration bundle is fingerprinted separately so cache keys
+#: react to calibration edits without embedding the dataclass tree).
+FINGERPRINTED_FIELDS = frozenset({"calibration"})
+
+#: Attribute names that exist on every object / dataclass.
+_UNIVERSAL_ATTRS = frozenset({
+    "__class__", "__dict__", "__doc__", "__module__", "__name__",
+})
+
+_MAX_TAINT_DEPTH = 10
+
+
+def _literal_tuple(expr: str) -> Optional[Tuple[str, ...]]:
+    """Parse a class-attr source expression as a tuple of strings."""
+    try:
+        value = ast.literal_eval(expr)
+    except (ValueError, SyntaxError):
+        return None
+    if isinstance(value, (tuple, list)) and all(
+            isinstance(v, str) for v in value):
+        return tuple(value)
+    return None
+
+
+def config_surface(graph: ProgramGraph, module: str, class_name: str,
+                   ) -> Optional[Tuple[Set[str], Set[str], Set[str]]]:
+    """``(fields, non_key, other_attrs)`` of a config class, MRO-wide.
+
+    ``other_attrs`` covers methods, properties and plain class attrs —
+    reads of those are not key-relevant.  Returns None when the class
+    is not in the universe (externally defined config: nothing to
+    prove).
+    """
+    chain = graph.mro(module, class_name)
+    if not chain:
+        return None
+    fields: Set[str] = set()
+    non_key: Set[str] = set()
+    other: Set[str] = set(_UNIVERSAL_ATTRS)
+    for summary, klass in chain:
+        fields |= set(klass.fields)
+        other |= set(klass.methods)
+        other |= set(klass.class_attrs)
+        declared = klass.class_attrs.get("NON_KEY_FIELDS")
+        if declared is not None:
+            parsed = _literal_tuple(declared)
+            if parsed is not None:
+                non_key |= set(parsed)
+    return fields, non_key, other
+
+
+def taint_reads(graph: ProgramGraph, module: str, fn: FunctionSummary,
+                param: str) -> List[Tuple[str, str, str, int]]:
+    """All attribute reads through ``param``, across the call graph.
+
+    Returns ``(module, function, attr, line)`` tuples, deduplicated and
+    sorted.  Propagation follows the tainted name when it is passed as
+    a plain positional or keyword argument to a resolvable callee.
+    """
+    out: Set[Tuple[str, str, str, int]] = set()
+    memo: Set[Tuple[str, str, str]] = set()
+    stack: List[Tuple[str, FunctionSummary, str, int]] = [
+        (module, fn, param, 0)]
+    while stack:
+        mod, func, name, depth = stack.pop()
+        key = (mod, func.name, name)
+        if key in memo or depth > _MAX_TAINT_DEPTH:
+            continue
+        memo.add(key)
+        for base, attr, line in func.attr_reads:
+            if base == name:
+                out.add((mod, func.name, attr, line))
+        for call in func.calls:
+            taint_positions = [i for i, arg in enumerate(call.args)
+                               if arg == name]
+            taint_kwargs = [kw for kw, value in call.kwargs
+                            if value == name]
+            if not taint_positions and not taint_kwargs:
+                continue
+            resolved = graph.find_function(mod, call.callee,
+                                           func.local_aliases)
+            if resolved is None:
+                continue
+            callee_summary, callee = resolved
+            params = callee.params
+            # Methods: drop the self/cls slot for positional mapping.
+            if "." in callee.name and params and \
+                    params[0] in ("self", "cls"):
+                params = params[1:]
+            for pos in taint_positions:
+                if pos < len(params):
+                    stack.append((callee_summary.module, callee,
+                                  params[pos], depth + 1))
+            for kw in taint_kwargs:
+                if kw in params or kw in callee.kwonly:
+                    stack.append((callee_summary.module, callee, kw,
+                                  depth + 1))
+    return sorted(out)
+
+
+def _spec_entry(graph: ProgramGraph, summary: ModuleSummary,
+                reg: SpecReg, role: str,
+                ) -> Optional[Tuple[ModuleSummary, FunctionSummary]]:
+    name = reg.kwarg(role)
+    if not name:
+        return None
+    return graph.find_function(summary.module, name)
+
+
+class CacheKeyRule(FlowRule):
+    """Every config field ``run_cell`` reads must be in the cache key.
+
+    The cell cache key hashes ``config.to_key_dict()`` — all dataclass
+    fields minus ``NON_KEY_FIELDS`` (plus a separate calibration
+    fingerprint).  A field the cell reads but the key omits makes two
+    distinct configs collide on one cache entry.
+    """
+
+    id = "flow-cache-key"
+    category = "cache"
+
+    def check(self, graph: ProgramGraph) -> Iterable[Finding]:
+        for summary in graph.summaries():
+            for reg in summary.spec_regs:
+                yield from self._check_spec(graph, summary, reg)
+
+    def _check_spec(self, graph: ProgramGraph, summary: ModuleSummary,
+                    reg: SpecReg) -> Iterable[Finding]:
+        exp = reg.kwarg("experiment_id") or "?"
+        config_name = (reg.kwarg("config_factory")
+                       or reg.kwarg("quick_config_factory"))
+        run_cell = _spec_entry(graph, summary, reg, "run_cell")
+        if not config_name or run_cell is None:
+            return
+        surface = config_surface(graph, summary.module, config_name)
+        if surface is None:
+            return
+        fields, non_key, other = surface
+        entry_summary, entry_fn = run_cell
+        if not entry_fn.params:
+            return
+        reads = taint_reads(graph, entry_summary.module, entry_fn,
+                            entry_fn.params[0])
+        reported: Set[Tuple[str, str]] = set()
+        for mod, func, attr, line in reads:
+            if (func, attr) in reported:
+                continue
+            read_summary = graph.module(mod)
+            if read_summary is None:
+                continue
+            if attr in non_key and attr not in FINGERPRINTED_FIELDS:
+                reported.add((func, attr))
+                yield self.finding(
+                    read_summary, line,
+                    f"cache-key completeness ({exp}): {func} reads "
+                    f"config.{attr}, which NON_KEY_FIELDS excludes "
+                    "from to_key_dict(); distinct configs will collide "
+                    "on one cache entry")
+            elif attr not in fields and attr not in other and \
+                    not attr.startswith("__"):
+                reported.add((func, attr))
+                yield self.finding(
+                    read_summary, line,
+                    f"cache-key completeness ({exp}): {func} reads "
+                    f"config.{attr}, which is not a declared field of "
+                    f"{config_name}; the cache key cannot cover it")

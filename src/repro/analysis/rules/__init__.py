@@ -3,9 +3,16 @@
 ``ALL_RULES`` is the default rule set used by ``repro lint`` and the CI
 gate; ``rules_by_id`` supports ``--select``-style subsets and the
 fixture tests.  Adding a rule: subclass :class:`repro.analysis.engine.Rule`
-in :mod:`.determinism`, :mod:`.kernel` or :mod:`.layering` (or a new
-module), then append an instance here — the engine, CLI, JSON report,
-and docs table pick it up from this registry.
+in :mod:`.determinism` or :mod:`.kernel` (or a new module), then append
+an instance here — the engine, CLI, JSON report, and docs table pick it
+up from this registry.
+
+The former :mod:`.layering` rules (``obs-direct-import``,
+``broker-factory``, ``compiled-lane-purity``) migrated to the
+whole-program pass: they are now data in
+:data:`repro.analysis.flows.layers.REPRO_LAYERS` and run under ``repro
+lint --flows`` as ``flow-obs-isolation`` / ``flow-broker-factory`` /
+``flow-sim-purity``.
 """
 
 from __future__ import annotations
@@ -27,15 +34,10 @@ from .kernel import (
     SwallowedErrorRule,
     TriggerInInitRule,
 )
-from .layering import (
-    BrokerConstructionRule,
-    CompiledLanePurityRule,
-    ObsDirectImportRule,
-)
 
-__all__ = ["ALL_RULES", "rules_by_id"]
+__all__ = ["ALL_RULES", "rules_by_id", "rules_by_category"]
 
-#: Default rule set, in catalog order (determinism, kernel, layering).
+#: Default rule set, in catalog order (determinism, then kernel).
 ALL_RULES: List[Rule] = [
     SetIterationRule(),
     UnseededRandomRule(),
@@ -47,9 +49,6 @@ ALL_RULES: List[Rule] = [
     TriggerInInitRule(),
     BareExceptRule(),
     SwallowedErrorRule(),
-    ObsDirectImportRule(),
-    BrokerConstructionRule(),
-    CompiledLanePurityRule(),
 ]
 
 
@@ -61,3 +60,8 @@ def rules_by_id(ids: Sequence[str]) -> List[Rule]:
         raise KeyError(f"unknown simlint rule(s): {unknown}; "
                        f"known: {sorted(catalog)}")
     return [catalog[i] for i in ids]
+
+
+def rules_by_category(category: str) -> List[Rule]:
+    """All catalog rules in one category (``determinism``/``kernel``)."""
+    return [rule for rule in ALL_RULES if rule.category == category]

@@ -1,0 +1,23 @@
+"""Seeded protocol drift: implements AgentProtocol with a renamed
+parameter and a changed default — exactly what runtime_checkable's
+method-existence check cannot see."""
+
+
+class GoodAgent:
+    """Faithful implementer: no findings expected."""
+
+    def dispatch(self, job, site, retries=3):
+        return (job, site, retries)
+
+    def cancel(self, job, reason="cancelled"):
+        return (job, reason)
+
+
+class DriftedAgent:
+    """Renames ``site`` and changes the ``reason`` default."""
+
+    def dispatch(self, job, target, retries=3):
+        return (job, target, retries)
+
+    def cancel(self, job, reason="aborted"):
+        return (job, reason)

@@ -1,0 +1,14 @@
+"""A runtime_checkable Protocol for the drift fixture."""
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class AgentProtocol(Protocol):
+    """Structural surface every fixture agent satisfies."""
+
+    def dispatch(self, job, site, retries=3):
+        ...
+
+    def cancel(self, job, reason="cancelled"):
+        ...

@@ -1,0 +1,12 @@
+"""Seeded layer-DAG violation: core (layer 4) reaching experiments (6).
+
+The offending edge is laundered through the unranked ``util.bridge``
+module; the expected finding reports the chain
+``repro.core.stats -> repro.util.bridge -> repro.experiments.report``.
+"""
+
+from ..util.bridge import render_table
+
+
+def summarize(rows):
+    return render_table(rows)

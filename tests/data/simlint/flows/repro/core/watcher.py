@@ -1,0 +1,7 @@
+"""Seeded obs-isolation violation: an observed layer imports repro.obs."""
+
+import repro.obs
+
+
+def snapshot(env):
+    return repro.obs.scope_snapshot(env)

@@ -1,0 +1,77 @@
+"""Seeded cache-key defects.
+
+``DemoConfig`` excludes ``verbosity`` from the key via NON_KEY_FIELDS,
+yet ``run_cell`` reaches it through the ``_inner`` helper — two configs
+differing only in verbosity would share a cache entry.  ``run_cell``
+also reads ``config.debug_level``, which the dataclass never declares.
+A second registration seeds the spec-arity drift (``bad_merge`` takes
+three required arguments where the engine passes two).
+"""
+
+from dataclasses import dataclass, field
+
+
+class Codec:
+    NON_KEY_FIELDS = ("calibration",)
+
+    def to_key_dict(self):
+        return {}
+
+
+@dataclass(frozen=True)
+class DemoConfig(Codec):
+    jobs: int = 100
+    seed: int = 7
+    verbosity: int = 0
+    calibration: object = None
+
+    NON_KEY_FIELDS = ("calibration", "verbosity")
+
+
+def _inner(config):
+    return config.verbosity > 0
+
+
+def plan_cells(config):
+    return [("cell", str(i)) for i in range(config.jobs // 50)]
+
+
+def run_cell(config, key):
+    noisy = _inner(config)
+    level = config.debug_level
+    return {"key": key, "jobs": config.jobs, "seed": config.seed,
+            "noisy": noisy, "level": level}
+
+
+def merge_cells(config, payloads):
+    return sorted(payloads)
+
+
+def bad_merge(config, payloads, extra_sink):
+    return (config, payloads, extra_sink)
+
+
+def register(spec):
+    return spec
+
+
+class ExperimentSpec:
+    def __init__(self, **kwargs):
+        self.kwargs = kwargs
+
+
+register(ExperimentSpec(
+    experiment_id="cached-demo",
+    config_factory=DemoConfig,
+    plan=plan_cells,
+    run_cell=run_cell,
+    merge=merge_cells,
+))
+
+register(ExperimentSpec(
+    experiment_id="cached-demo-arity",
+    config_factory=DemoConfig,
+    plan=plan_cells,
+    run_cell=run_cell,
+    merge=bad_merge,
+))

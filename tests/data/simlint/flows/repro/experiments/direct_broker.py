@@ -1,0 +1,7 @@
+"""Seeded broker-factory violation: experiments constructing a broker
+class directly instead of going through make_broker()."""
+
+
+def build(env, network, rng, calibration):
+    from repro.core.broker import CrossBroker
+    return CrossBroker(env, network, rng, calibration)

@@ -1,0 +1,5 @@
+"""Top-layer helper; the target of the seeded layer-DAG chain."""
+
+
+def render_table(rows):
+    return "\n".join(str(row) for row in rows)

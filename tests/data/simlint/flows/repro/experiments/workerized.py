@@ -1,0 +1,52 @@
+"""Seeded worker-purity defect: a module-global cache written on the
+cell path (reached both through the registered ``run_cell`` and a
+direct ``pool.submit``), plus a counter rebind behind ``global``."""
+
+CACHE = {}
+CALLS = 0
+
+
+def _note(key, payload):
+    CACHE[key] = payload
+
+
+def _bump():
+    global CALLS
+    CALLS = CALLS + 1
+
+
+def plan_cells(config):
+    return [("w", "0")]
+
+
+def run_cell(config, key):
+    payload = {"key": key}
+    _note(key, payload)
+    _bump()
+    return payload
+
+
+def merge_cells(config, payloads):
+    return payloads
+
+
+def register(spec):
+    return spec
+
+
+class ExperimentSpec:
+    def __init__(self, **kwargs):
+        self.kwargs = kwargs
+
+
+register(ExperimentSpec(
+    experiment_id="workerized-demo",
+    config_factory=dict,
+    plan=plan_cells,
+    run_cell=run_cell,
+    merge=merge_cells,
+))
+
+
+def fan_out(pool, keys):
+    return [pool.submit(run_cell, None, key) for key in keys]

@@ -1,0 +1,13 @@
+"""Seeded kernel-purity violation: module-level import outside the
+substrate allowlist (threading) plus a cross-package repro import."""
+
+import heapq
+import threading
+
+from ..core.stats import summarize
+
+
+def drain(queue):
+    lock = threading.Lock()
+    with lock:
+        return summarize([heapq.heappop(queue)])

@@ -1,0 +1,1 @@
+"""Unranked helper package: the layer-DAG chain must pass *through* it."""

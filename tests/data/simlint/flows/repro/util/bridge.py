@@ -1,0 +1,12 @@
+"""Unranked intermediate: re-exports a top-layer helper downward.
+
+This module is not in the layer map, so importing it is legal from
+anywhere — but anything it eagerly drags in becomes part of the
+importer's chain.  That is the seeded trap: ``core.stats`` imports this
+bridge, the bridge imports ``experiments.report``, and the DAG rule
+must report the full three-hop chain, not the innocent first edge.
+"""
+
+from ..experiments.report import render_table
+
+__all__ = ["render_table"]

@@ -18,7 +18,7 @@ SRC = os.path.join(REPO, "src")
 
 
 def run_cli(*args, cwd=None):
-    env = dict(os.environ)
+    env = dict(os.environ)  # simlint: disable=environ-read -- building a subprocess environment, not sim state
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
     return subprocess.run(
         [sys.executable, "-m", "repro", *args],
@@ -56,7 +56,7 @@ class TestRunCommand:
         assert "(0 computed, 3 cached)" in second.stderr
 
     def test_legacy_invocation_matches_run(self, tmp_path):
-        env = dict(os.environ)
+        env = dict(os.environ)  # simlint: disable=environ-read -- building a subprocess environment, not sim state
         env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
         legacy = subprocess.run(
             [sys.executable, "-m", "repro.experiments",

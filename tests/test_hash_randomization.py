@@ -19,7 +19,7 @@ GOLDEN = os.path.join(REPO, "tests", "golden", "experiments_quick.out")
 
 
 def _run_quick(hash_seed: str) -> subprocess.CompletedProcess:
-    env = dict(os.environ)
+    env = dict(os.environ)  # simlint: disable=environ-read -- building a subprocess environment, not sim state
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
     env["PYTHONHASHSEED"] = hash_seed
     return subprocess.run(

@@ -99,9 +99,9 @@ for line in sys.stdin:
 """)
         try:
             # Wait until the agent registered.
-            deadline = time.monotonic() + 5
+            deadline = time.perf_counter() + 5
             while shadow.connected_agents == 0 \
-                    and time.monotonic() < deadline:
+                    and time.perf_counter() < deadline:
                 time.sleep(0.02)
             for n in (3, 7):
                 shadow.send_line(str(n).encode())
@@ -118,9 +118,9 @@ for line in sys.stdin:
         agent = spawn(shadow, "import sys; sys.exit(3)")
         try:
             assert agent.join(timeout=10) == 3
-            deadline = time.monotonic() + 5
+            deadline = time.perf_counter() + 5
             while 0 not in shadow.exit_codes \
-                    and time.monotonic() < deadline:
+                    and time.perf_counter() < deadline:
                 time.sleep(0.02)
             assert shadow.exit_codes.get(0) == 3
         finally:
@@ -164,8 +164,8 @@ time.sleep(60)
             # socket, so the shadow can observe the line before the counter
             # reflects it — poll briefly instead of asserting the
             # instantaneous value (hello + line = 2).
-            deadline = time.time() + 5.0
-            while agent.stats.frames_sent < 2 and time.time() < deadline:
+            deadline = time.perf_counter() + 5.0
+            while agent.stats.frames_sent < 2 and time.perf_counter() < deadline:
                 time.sleep(0.01)
             assert agent.stats.frames_sent >= 2
         finally:

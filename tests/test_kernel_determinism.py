@@ -52,7 +52,7 @@ def _run_in_lane(workload: str, compiled: bool,
     Lane selection is an import-time switch, so cross-lane comparison
     needs a subprocess per lane; the log comes back as JSON on stdout.
     """
-    env = dict(os.environ,
+    env = dict(os.environ,  # simlint: disable=environ-read -- building a subprocess environment, not sim state
                PYTHONPATH=os.path.join(REPO_ROOT, "src"),
                REPRO_SIM_COMPILED="1" if compiled else "0")
     call = f"{workload}(sanitize=True)" if sanitize else f"{workload}()"

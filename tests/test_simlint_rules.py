@@ -36,6 +36,9 @@ FIXTURES = os.path.join(HERE, "data", "simlint")
 RULE_IDS = sorted(rule.id for rule in ALL_RULES)
 
 #: rule id -> minimum number of distinct findings in its bad fixture.
+#: (The former layering rules migrated to ``repro lint --flows``; their
+#: fixtures live under ``data/simlint/flows`` and are covered by
+#: ``test_simlint_flows.py``.)
 EXPECTED_MIN = {
     "set-iteration": 3,
     "unseeded-random": 2,
@@ -47,22 +50,13 @@ EXPECTED_MIN = {
     "trigger-in-init": 1,
     "bare-except": 1,
     "swallowed-error": 2,
-    "obs-direct-import": 8,
-    "broker-factory": 4,
-    "compiled-lane-purity": 3,
 }
 
 
 def _fixture(name: str) -> str:
-    flat = os.path.join(FIXTURES, name)
-    if os.path.exists(flat):
-        return flat
-    # Path-dependent rules (layering) keep their fixtures under a subdir
-    # named after the restricted path segment, e.g. core/, experiments/.
-    for segment in ("core", "experiments", "sim"):
-        nested = os.path.join(FIXTURES, segment, name)
-        if os.path.exists(nested):
-            return nested
+    path = os.path.join(FIXTURES, name)
+    if os.path.exists(path):
+        return path
     raise FileNotFoundError(name)
 
 
@@ -72,7 +66,7 @@ def test_rule_catalog_is_complete():
     assert set(EXPECTED_MIN) == set(RULE_IDS), (
         "fixture table out of sync with the rule catalog")
     for rule in ALL_RULES:
-        assert rule.category in ("determinism", "kernel", "layering")
+        assert rule.category in ("determinism", "kernel")
         assert rule.summary
 
 
@@ -158,20 +152,6 @@ def test_kernel_files_are_exempt_from_queue_rule():
     kernel = lint_source(src, "repro/sim/events.py",
                          rules_by_id(["kernel-queue-push"]))
     assert kernel == []
-
-
-def test_obs_import_rule_is_path_dependent():
-    """obs-direct-import fires only under the instrumented layers."""
-    src = "from repro.obs import Telemetry\n"
-    for layer in ("core", "streaming", "multiprog", "grid", "net"):
-        findings = lint_source(src, f"repro/{layer}/thing.py",
-                               rules_by_id(["obs-direct-import"]))
-        assert [f.rule for f in findings] == ["obs-direct-import"], layer
-    # obs itself, experiments, runner, metrics... are free to import obs.
-    for path in ("repro/obs/perfetto.py", "repro/experiments/trace_run.py",
-                 "repro/runner/engine.py", "repro/scenario.py"):
-        assert lint_source(src, path,
-                           rules_by_id(["obs-direct-import"])) == []
 
 
 def test_obs_hook_read_is_clean():
