@@ -171,6 +171,11 @@ REPRO_LAYERS = LayerMap(
         "CrossBroker": ("experiments", "examples"),
         "PullBroker": ("experiments", "examples"),
         "DataAwareBroker": ("experiments", "examples"),
+        # Drivers reach steering through the controller that
+        # Scenario.build binds (env.control.world), never by wrapping a
+        # handle themselves — the adapter is the control bridge's world
+        # half, not a driver convenience.
+        "SteeringAdapter": ("experiments", "examples"),
     },
 )
 

@@ -14,6 +14,7 @@ from .ablations import (
     run_retry_sweep,
 )
 from .broker_modes import BrokerModesConfig, run_broker_modes
+from .chaos_drill import ChaosDrillConfig, run_chaos_drill
 from .common import ExperimentResult, ShapeCheck
 from .export import collect_series, export_all, export_result
 from .fairshare_saturation import SaturationConfig, run_fairshare_saturation
@@ -26,6 +27,7 @@ from .table1 import Table1Config, run_table1
 __all__ = [
     "BrokerModesConfig",
     "BufferSweepConfig",
+    "ChaosDrillConfig",
     "DegreeSweepConfig",
     "ExperimentResult",
     "Fig8Config",
@@ -44,6 +46,7 @@ __all__ = [
     "run_all_ablations",
     "run_broker_modes",
     "run_buffer_sweep",
+    "run_chaos_drill",
     "run_degree_sweep",
     "run_fairshare_saturation",
     "run_fig6",

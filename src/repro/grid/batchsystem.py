@@ -98,6 +98,10 @@ class LocalBatchSystem:
         self.cycle_interval = cycle_interval
         self.queue: List[BatchHandle] = []
         self.running: Dict[str, BatchHandle] = {}
+        #: Administrative drain (steering verb ``drain_site``): while set,
+        #: new submissions are rejected and queued jobs are not dispatched;
+        #: running jobs finish normally.
+        self.drained = False
         self._handle_counter = itertools.count(1)
         #: One re-armable cycle timer replaces the seed's per-cycle
         #: ``timeout | kick`` idiom (which allocated a timeout, a fresh
@@ -130,9 +134,19 @@ class LocalBatchSystem:
     def has_capacity(self) -> bool:
         """Free node now, or room in the queue (paper §5.2: "space in the
         queues managed by the local scheduler")."""
+        if self.drained:
+            return False
         if self.free_count > 0:
             return True
         return self.max_queue is None or len(self.queue) < self.max_queue
+
+    def set_drained(self, drained: bool) -> None:
+        """Flip the administrative drain; undraining kicks a dispatch
+        cycle so jobs parked in the queue start immediately."""
+        self.drained = bool(drained)
+        self._publish_telemetry()
+        if not self.drained:
+            self._wake()
 
     # -- submission ----------------------------------------------------------
     def submit(self, label: str, owner: str, behavior: Behavior,
@@ -140,6 +154,8 @@ class LocalBatchSystem:
                priority: float = 0.0, daemon: bool = False,
                setup: Optional[Callable[[MachineContext], None]] = None) -> BatchHandle:
         """Enqueue a job; raises :class:`QueueFullError` when over capacity."""
+        if self.drained:
+            raise QueueFullError(f"{self.site}: site drained")
         if self.max_queue is not None and len(self.queue) >= self.max_queue \
                 and self.free_count == 0:
             raise QueueFullError(f"{self.site}: queue full")
@@ -200,6 +216,8 @@ class LocalBatchSystem:
         return list(self.queue)
 
     def _dispatch_cycle(self) -> None:
+        if self.drained:
+            return
         free = self.free_nodes()
         if self.queue and not free \
                 and self.policy is SchedulingPolicy.PREEMPTIVE:

@@ -88,7 +88,7 @@ class Site:
             "SiteName": self.name,
             "GatekeeperHost": self.gatekeeper_host,
             "TotalCPUs": self.lrms.total_nodes,
-            "FreeCPUs": self.lrms.free_count,
+            "FreeCPUs": 0 if self.lrms.drained else self.lrms.free_count,
             "QueueLength": self.lrms.queue_length,
             "OpSys": spec.op_sys,
             "Arch": spec.arch,
@@ -99,6 +99,10 @@ class Site:
                               if self.config.max_queue is not None
                               else 999999),
         }
+        if self.lrms.drained:
+            # Only present while drained, so undisturbed adverts stay
+            # byte-for-byte what they always were.
+            attributes["Drained"] = True
         attributes.update(self.config.extra_attributes or {})
         return attributes
 

@@ -108,8 +108,13 @@ class RpcServer:
         try:
             yield from conn.send(response, RESPONSE_OVERHEAD)
         except NetworkError:
-            # Response lost; the client's pending call will dangle until
-            # its own timeout/failure handling kicks in.
+            # Response lost (the path dropped mid-call, e.g. a steering
+            # ``fail_site`` partition).  Reset the connection: the FIN
+            # marker is delivered in-process, so the client's reader
+            # fails every pending call instead of dangling forever —
+            # without it, a mid-RPC partition wedges the submission for
+            # the rest of the run.
+            conn.close()
             return
 
 

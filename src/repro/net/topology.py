@@ -53,6 +53,32 @@ class Link:
                 t = end
         return t
 
+    def fail(self, time: float) -> None:
+        """Open-ended failure from ``time`` until :meth:`recover`.
+
+        The steering verbs (``fail_site``) use this instead of
+        :meth:`add_outage` because a live operator does not know the
+        outage duration up front.
+        """
+        self.outages.append((time, float("inf")))
+        self.outages.sort()
+
+    def recover(self, time: float) -> None:
+        """Bring the link up at ``time``: truncate the covering window,
+        cancel open-ended future windows, keep finished and scheduled
+        finite windows."""
+        kept: List[Tuple[float, float]] = []
+        for start, end in self.outages:
+            if end <= time:
+                kept.append((start, end))  # already over
+            elif start <= time:
+                if time > start:  # covering now: truncate to [start, time)
+                    kept.append((start, time))
+            elif end != float("inf"):
+                kept.append((start, end))  # scheduled finite window: keep
+            # open-ended future windows are cancelled
+        self.outages = kept
+
 
 class Host:
     """A named machine on the network.
@@ -208,3 +234,27 @@ class Network:
     def inject_outage(self, a: str, b: str, start: float, duration: float) -> None:
         """Schedule a failure window on link (a, b)."""
         self.link(a, b).add_outage(start, duration)
+
+    def links_of(self, host: str) -> List[Link]:
+        """Every link incident to ``host``."""
+        if host not in self.hosts:
+            raise KeyError(host)
+        return [self.link(host, nb) for nb in self._adjacency.get(host, ())]
+
+    def isolate_host(self, host: str, time: Optional[float] = None) -> int:
+        """Open-endedly fail every link incident to ``host`` (steering
+        verb ``fail_site`` applied to a gatekeeper).  Returns the number
+        of links taken down."""
+        t = self.env.now if time is None else time
+        links = self.links_of(host)
+        for link in links:
+            link.fail(t)
+        return len(links)
+
+    def restore_host(self, host: str, time: Optional[float] = None) -> int:
+        """Recover every link incident to ``host``; returns the count."""
+        t = self.env.now if time is None else time
+        links = self.links_of(host)
+        for link in links:
+            link.recover(t)
+        return len(links)

@@ -23,8 +23,21 @@ For real-time attribution of kernel work, use
 ``Environment(profile=True)`` (or :class:`profile_scope`); for a
 Chrome/Perfetto trace of spans + counter tracks, see
 :func:`export_chrome_trace`.
+
+Live observation and steering use the third hook, ``Environment.control``:
+a :class:`SimController` (installed by :func:`control_scope`) drains a
+thread-safe command queue between kernel events, replays
+:class:`ChaosSchedule` verbs at fixed sim-times, and backs the
+``repro serve`` HTTP control plane (:class:`ControlPlaneServer`).
 """
 
+from .control import (
+    ChaosAction,
+    ChaosSchedule,
+    SimController,
+    SteerError,
+    control_scope,
+)
 from .profiler import KernelProfiler, SiteStats, profile_scope
 from .perfetto import chrome_trace, export_chrome_trace
 from .telemetry import (
@@ -38,10 +51,27 @@ from .telemetry import (
     scope_snapshot,
     telemetry_scope,
 )
+from .serve import (
+    ControlPlaneServer,
+    fetch_json,
+    fetch_snapshot,
+    format_sse,
+    snapshot_stream,
+)
 from .tracer import PHASES, PhaseStats, Span, TraceEvent, Tracer
 
 __all__ = [
     "PHASES",
+    "ChaosAction",
+    "ChaosSchedule",
+    "ControlPlaneServer",
+    "SimController",
+    "SteerError",
+    "control_scope",
+    "fetch_json",
+    "fetch_snapshot",
+    "format_sse",
+    "snapshot_stream",
     "Counter",
     "Gauge",
     "Histogram",

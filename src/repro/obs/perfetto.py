@@ -41,6 +41,9 @@ SPAN_PID = 1
 COUNTER_PID = 2
 #: tid of the shared track for job-less spans/instants.
 GLOBAL_TID = 0
+#: tid of the dedicated steering track (``steer:*`` ring events land
+#: here so chaos campaigns read as one row of instants).
+STEER_TID = -1
 
 _US = 1_000_000.0  # sim-seconds -> trace microseconds
 
@@ -103,13 +106,24 @@ def chrome_trace(tracer: Optional["Tracer"] = None,
                 "ts": span.start * _US, "dur": dur if dur >= 1.0 else 1.0,
                 "args": _span_args(span),
             })
+        steer_track_named = False
         for ring in tracer.events:
             data = ring.data
             job = data.get("job")
             args = {key: data[key] for key in sorted(data)}
+            if ring.kind.startswith("steer:"):
+                # Steering verbs get their own row: a chaos campaign
+                # reads as one line of instants above the job tracks.
+                if not steer_track_named:
+                    steer_track_named = True
+                    events.append({"ph": "M", "pid": SPAN_PID,
+                                   "tid": STEER_TID, "name": "thread_name",
+                                   "args": {"name": "(steering)"}})
+                tid = STEER_TID
+            else:
+                tid = tid_of(job if isinstance(job, str) else None)
             events.append({
-                "ph": "i", "pid": SPAN_PID,
-                "tid": tid_of(job if isinstance(job, str) else None),
+                "ph": "i", "pid": SPAN_PID, "tid": tid,
                 "name": ring.kind, "cat": "event", "s": "t",
                 "ts": ring.time * _US, "args": args,
             })

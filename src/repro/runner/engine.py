@@ -84,7 +84,8 @@ class RunStats:
 
 
 def _execute_cell(experiment_id: str, config: Any, key: CellKey,
-                  telemetry: bool = False) -> Any:
+                  telemetry: bool = False,
+                  chaos: Optional[Dict[str, Any]] = None) -> Any:
     """Worker-side entry point (module-level: picklable by name).
 
     With ``telemetry=True`` the cell runs under a
@@ -93,17 +94,32 @@ def _execute_cell(experiment_id: str, config: Any, key: CellKey,
     ready dict — picklable across the process pool) is returned as the
     4th element and ``None`` otherwise.  Recording is observation-only,
     so the payload is byte-identical either way.
+
+    ``chaos`` (a :class:`repro.obs.ChaosSchedule` ``to_dict``) wraps the
+    cell in a :func:`repro.obs.control_scope`, replaying the schedule's
+    steering verbs at their sim-times in every environment the cell
+    builds.  Chaos perturbs results by design, so the engine never
+    caches chaos-run payloads (see :func:`run_experiment`).
     """
     spec = get_spec(experiment_id)
     t0 = time.perf_counter()
+
+    def _run() -> Any:
+        if chaos is not None:
+            from ..obs import ChaosSchedule, control_scope
+
+            with control_scope(schedule=ChaosSchedule.from_dict(chaos)):
+                return spec.run_cell(config, key)
+        return spec.run_cell(config, key)
+
     if telemetry:
         from ..obs import scope_snapshot, telemetry_scope
 
         with telemetry_scope() as registries:
-            payload = spec.run_cell(config, key)
+            payload = _run()
         snapshot = scope_snapshot(registries)
     else:
-        payload = spec.run_cell(config, key)
+        payload = _run()
         snapshot = None
     return key, payload, time.perf_counter() - t0, snapshot
 
@@ -120,7 +136,8 @@ def run_experiment(experiment_id: str,
                    parallel: int = 1,
                    cache: Union[ResultCache, str, None] = None,
                    progress: Optional[Progress] = None,
-                   telemetry: bool = False) -> Any:
+                   telemetry: bool = False,
+                   chaos: Optional[Dict[str, Any]] = None) -> Any:
     """Run one experiment through the sharded engine.
 
     Parameters
@@ -142,10 +159,21 @@ def run_experiment(experiment_id: str,
         miss so telemetry-on runs always yield complete metrics.  The
         merged snapshot lands in ``result.data["telemetry"]`` — outside
         the rendered output, which stays byte-identical.
+    chaos:
+        A chaos schedule as a plain dict (``ChaosSchedule.to_dict``) to
+        replay inside every cell.  A non-empty schedule steers the
+        simulation, so the cell cache is bypassed entirely — chaos
+        payloads must never be stored under (or served from) the
+        unperturbed cache key.  An *empty* schedule still attaches an
+        (idle) controller to every environment — by the kernel contract
+        that changes nothing, which is exactly what the CI idle-server
+        gate proves by diffing the golden — and keeps the cache usable.
     """
     spec = get_spec(experiment_id)
     if config is None:
         config = spec.make_config(quick=quick)
+    if chaos is not None and chaos.get("actions"):
+        cache = None
     if isinstance(cache, str):
         cache = ResultCache(cache)
     if parallel == 0:
@@ -195,7 +223,7 @@ def run_experiment(experiment_id: str,
             executor = ProcessPoolExecutor(
                 max_workers=min(parallel, len(missing)))
             futures = {executor.submit(_execute_cell, experiment_id,
-                                       config, key, telemetry): key
+                                       config, key, telemetry, chaos): key
                        for key in missing}
             pending = set(futures)
             while pending:
@@ -212,7 +240,7 @@ def run_experiment(experiment_id: str,
                 f"({exc}); falling back to serial execution")
             for key in [k for k in missing if k not in payloads]:
                 _, payload, elapsed, snapshot = _execute_cell(
-                    experiment_id, config, key, telemetry)
+                    experiment_id, config, key, telemetry, chaos)
                 _complete(key, payload, elapsed, snapshot,
                           len(payloads) + 1)
         finally:
@@ -221,7 +249,7 @@ def run_experiment(experiment_id: str,
     else:
         for key in missing:
             _, payload, elapsed, snapshot = _execute_cell(
-                experiment_id, config, key, telemetry)
+                experiment_id, config, key, telemetry, chaos)
             _complete(key, payload, elapsed, snapshot, len(payloads))
 
     # -- phase 3: deterministic merge -----------------------------------

@@ -158,8 +158,16 @@ class Scenario:
             registry = Telemetry(testbed.env).install()
         if self.publish:
             testbed.publish_all_now()
-        return ScenarioHandle(scenario=self, testbed=testbed, target=target,
-                              tracer=tracer, telemetry=registry)
+        handle = ScenarioHandle(scenario=self, testbed=testbed, target=target,
+                                tracer=tracer, telemetry=registry)
+        control = testbed.env.control
+        if control is not None and hasattr(control, "bind_world"):
+            # A control_scope is active: give its controller the world
+            # adapter so steering verbs (drain/fail/inject/kill) resolve.
+            from .core.steering import SteeringAdapter
+
+            control.bind_world(SteeringAdapter(handle))
+        return handle
 
 
 @dataclass

@@ -119,8 +119,8 @@ class Environment:
     # ``event``/``timeout`` are *instance* slots holding partials of the
     # constructors (one Python frame cheaper per call than a method).
     __slots__ = ("_now", "_urgent", "_fifo", "_heap", "_eid", "_active_proc",
-                 "tracer", "telemetry", "event", "timeout", "sanitizer",
-                 "profiler")
+                 "tracer", "telemetry", "control", "event", "timeout",
+                 "sanitizer", "profiler")
 
     #: Class-level default for the ``sanitize`` flag.  Flipped by
     #: :func:`repro.analysis.sanitizer.sanitize_all` so whole scenario
@@ -138,6 +138,13 @@ class Environment:
     #: by :func:`repro.obs.telemetry.telemetry_scope`; the kernel itself
     #: never imports obs and never reads the registry.
     telemetry_factory: Optional[Callable[["Environment"], Any]] = None
+
+    #: When set (a callable ``env -> controller``), every new environment
+    #: gets ``factory(env)`` assigned to its ``control`` hook.  Managed by
+    #: :func:`repro.obs.control.control_scope`; the kernel only calls the
+    #: controller's ``drain()`` between events (see ``_run_controlled``)
+    #: and never imports obs.
+    control_factory: Optional[Callable[["Environment"], Any]] = None
 
     def __init__(self, initial_time: float = 0.0, *,
                  sanitize: Optional[bool] = None,
@@ -163,6 +170,15 @@ class Environment:
         factory = Environment.telemetry_factory
         self.telemetry: Optional[Any] = \
             factory(self) if factory is not None else None
+        #: Steering/control hook (see :mod:`repro.obs.control`).  Same
+        #: zero-cost contract as ``tracer``/``telemetry``: ``None`` unless
+        #: a controller is installed; when set, ``run()`` takes the
+        #: controlled loop, which calls ``control.drain()`` between events
+        #: so thread-queued commands and scripted chaos verbs execute at a
+        #: deterministic point of the event order.
+        control_factory = Environment.control_factory
+        self.control: Optional[Any] = \
+            control_factory(self) if control_factory is not None else None
         #: Runtime lifecycle sanitizer (see :mod:`repro.analysis.sanitizer`).
         #: ``None`` unless ``sanitize=True`` (or the class default is
         #: flipped by an audit scope); the kernel's hot paths never touch
@@ -232,6 +248,23 @@ class Environment:
     def __len__(self) -> int:
         """Number of scheduled entries (including uncollected tombstones)."""
         return len(self._urgent) + len(self._fifo) + len(self._heap)
+
+    def advance_to(self, time: float) -> None:
+        """Advance the clock to ``time`` when nothing earlier is pending.
+
+        Control-hook helper: a scripted steering verb due at ``time``
+        must observe ``env.now >= time`` even when the next scheduled
+        entry lies further in the future (or the queue is empty).  The
+        jump is only legal when it cannot reorder events, so an entry
+        scheduled before ``time`` raises :class:`ValueError`.
+        """
+        if time <= self._now:
+            return
+        if self.peek() < time:
+            raise ValueError(
+                f"cannot advance to t={time}: an entry is scheduled "
+                f"earlier (t={self.peek()})")
+        self._now = time
 
     # -- event factories ---------------------------------------------------
     # ``event()`` and ``timeout(delay, value=None)`` are instance slots set
@@ -411,6 +444,13 @@ class Environment:
                 return until.value
             until.callbacks.append(_stop_simulate)
 
+        if self.control is not None:
+            # Steering detour: same event order as the generic loop, with
+            # the controller's command queue drained between events (see
+            # repro.obs.control).  Takes precedence over the profiler —
+            # steered runs are interactive, not measurement runs.
+            return self._run_controlled(until)
+
         if self.profiler is not None:
             # Observation-only detour: same event order, every callback
             # timed and attributed (see repro.obs.profiler).
@@ -581,6 +621,74 @@ class Environment:
             return stop.value
 
         # Queue drained without the until event firing.
+        if isinstance(until, Event) and not until.triggered:
+            raise SimulationError(
+                "No scheduled events left but 'until' event was not triggered"
+            )
+        if self.sanitizer is not None:
+            self.sanitizer.on_run_exit()
+        return None
+
+    def _run_controlled(self, until: Any) -> Any:
+        """Generic run loop with a control-hook drain point.
+
+        Mirrors :meth:`run` semantics exactly — same pop order, same
+        trigger-chaining/failure handling — calling ``control.drain()``
+        once *between* event pops.  The drain point is the only place
+        steering commands and scripted chaos verbs execute, so they land
+        at a deterministic position of the event order (never mid-
+        callback), and telemetry snapshots taken there are consistent.
+        An idle controller (no commands, no schedule) consumes no event
+        ids and touches no state, so an attached-but-idle server leaves
+        the run byte-identical.
+        """
+        control = self.control
+        assert control is not None
+        drain = control.drain
+        # Optional run boundaries: a threaded controller uses these to
+        # know when commands must queue (loop live) vs. may execute
+        # inline (loop stopped).  Duck-typed so any drain()-only
+        # controller still works.
+        begin_run = getattr(control, "begin_run", None)
+        end_run = getattr(control, "end_run", None)
+        if begin_run is not None:
+            begin_run()
+        try:
+            while True:
+                # The drain runs before the pop so that, once the queue
+                # empties, remaining scheduled verbs still fire (they may
+                # schedule new events and thereby extend the run).
+                drain()
+                entry = self._pop()
+                if entry is None:
+                    break  # queue drained (post-drain: nothing revived it)
+                event = entry[3]
+                if event._is_timer:
+                    event._pop_shot(entry)
+                    continue
+
+                self._now = entry[0]
+                callbacks = event.callbacks
+                if callbacks is None:
+                    # Already processed (trigger-chaining) — mirrors step().
+                    continue
+                event.callbacks = None
+                for cb in callbacks:
+                    cb(event)
+
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        raise exc
+                    raise SimulationError(repr(exc))  # pragma: no cover
+        except StopSimulation as stop:
+            if self.sanitizer is not None:
+                self.sanitizer.on_run_exit()
+            return stop.value
+        finally:
+            if end_run is not None:
+                end_run()
+
         if isinstance(until, Event) and not until.triggered:
             raise SimulationError(
                 "No scheduled events left but 'until' event was not triggered"
